@@ -1,0 +1,517 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see DESIGN.md §4 and EXPERIMENTS.md). Each bench both
+// exercises the relevant machinery per iteration and — once per run —
+// prints the series the paper's figure illustrates.
+package rlm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/jtag"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/rearrange"
+	"repro/internal/relocate"
+	"repro/internal/route"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+var printOnce sync.Map
+
+func once(key string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		f()
+	}
+}
+
+// --- E1 / Fig. 1: temporal scheduling, stall vs parallelism --------------
+
+func BenchmarkFig1Scheduling(b *testing.B) {
+	run := func(apps int, p rearrange.Planner) sched.FlowMetrics {
+		w := workload.Flows(workload.FlowConfig{
+			Seed: 13, Apps: apps, FnsPerApp: 6, MinSide: 4, MaxSide: 8, MeanDuration: 60,
+		})
+		return sched.RunFlows(sched.FlowConfig{
+			Rows: 14, Cols: 14, Policy: area.FirstFit, Planner: p, PrefetchLead: 4,
+		}, w)
+	}
+	once("fig1", func() {
+		fmt.Println("\nFig.1 series — application stall (s) vs degree of parallelism:")
+		fmt.Printf("%-6s %-14s %-16s\n", "apps", "no-rearrange", "local-repacking")
+		for n := 2; n <= 7; n++ {
+			a := run(n, rearrange.None{})
+			r := run(n, rearrange.LocalRepacking{})
+			fmt.Printf("%-6d %-14.1f %-16.1f\n", n, a.TotalStallSec, r.TotalStallSec)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := run(4, rearrange.LocalRepacking{})
+		if m.FunctionsRun == 0 {
+			b.Fatal("no functions ran")
+		}
+	}
+}
+
+// pingPongSetup places a design and returns an engine plus a cell that can
+// be relocated back and forth between its home and a free location.
+func pingPongSetup(b *testing.B, circuit string, gated bool, port func(*fabric.Device) bitstream.Port) (*relocate.Engine, fabric.CellRef, fabric.CellRef) {
+	b.Helper()
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl, err := itc99.Get(circuit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region, err := place.AutoRegion(dev, nl, 2, 2, 0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := place.Place(dev, nl, place.Options{Region: region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := relocate.NewEngine(dev, port(dev))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.MaxCyclesPerWait = 0 // no simulation load in benches
+	var from fabric.CellRef
+	found := false
+	for id, nd := range nl.Nodes {
+		if nd.Kind != netlist.KindFF {
+			continue
+		}
+		if gated != (nd.CE != netlist.None) {
+			continue
+		}
+		if ref, ok := d.CellOf[netlist.ID(id)]; ok {
+			from, found = ref, true
+			break
+		}
+	}
+	if !found {
+		b.Fatal("no suitable cell")
+	}
+	spare := fabric.CellRef{Coord: fabric.Coord{Row: 12, Col: 12}, Cell: from.Cell}
+	return eng, from, spare
+}
+
+func directBenchPort(dev *fabric.Device) bitstream.Port {
+	return bitstream.NewParallelPort(bitstream.NewController(dev), 50e6)
+}
+
+func jtagBenchPort(dev *fabric.Device) bitstream.Port {
+	return jtag.NewPort(bitstream.NewController(dev), jtag.DefaultTCKHz)
+}
+
+// --- E2 / Fig. 2: two-phase relocation of a free-running cell -------------
+
+func BenchmarkFig2TwoPhaseRelocation(b *testing.B) {
+	eng, home, spare := pingPongSetup(b, "b01", false, directBenchPort)
+	locs := [2]fabric.CellRef{home, spare}
+	b.ResetTimer()
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		mv, err := eng.RelocateCell(locs[i%2], locs[(i+1)%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames += mv.Frames
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/move")
+	once("fig2", func() {
+		fmt.Printf("\nFig.2 — two-phase relocation (free-running FF): %.0f frames per move\n",
+			float64(frames)/float64(b.N))
+	})
+}
+
+// --- E3 / Fig. 3: gated-clock relocation via the aux circuit --------------
+
+func BenchmarkFig3GatedClock(b *testing.B) {
+	eng, home, spare := pingPongSetup(b, "b03", true, directBenchPort)
+	locs := [2]fabric.CellRef{home, spare}
+	b.ResetTimer()
+	aux := 0
+	frames := 0
+	for i := 0; i < b.N; i++ {
+		mv, err := eng.RelocateCell(locs[i%2], locs[(i+1)%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mv.UsedAux {
+			aux++
+		}
+		frames += mv.Frames
+	}
+	if aux != b.N {
+		b.Fatalf("aux circuit used %d/%d times", aux, b.N)
+	}
+	b.ReportMetric(float64(frames)/float64(b.N), "frames/move")
+}
+
+// --- E4 / Fig. 4: the procedure flow itself -------------------------------
+
+func BenchmarkFig4Procedure(b *testing.B) {
+	// Compare the frame cost of the plain and gated procedures (the extra
+	// steps of Fig. 4 show up as extra frames and port time).
+	measure := func(circuit string, gated bool) (frames float64, ms float64) {
+		eng, home, spare := pingPongSetup(b, circuit, gated, jtagBenchPort)
+		mv, err := eng.RelocateCell(home, spare)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(mv.Frames), mv.Seconds * 1e3
+	}
+	once("fig4", func() {
+		pf, pt := measure("b01", false)
+		gf, gt := measure("b03", true)
+		fmt.Println("\nFig.4 — procedure cost over Boundary-Scan @ 20 MHz:")
+		fmt.Printf("%-28s %-10s %-10s\n", "procedure", "frames", "ms")
+		fmt.Printf("%-28s %-10.0f %-10.2f\n", "two-phase (free-running)", pf, pt)
+		fmt.Printf("%-28s %-10.0f %-10.2f\n", "Fig.4 flow (gated, aux)", gf, gt)
+	})
+	eng, home, spare := pingPongSetup(b, "b03", true, directBenchPort)
+	locs := [2]fabric.CellRef{home, spare}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RelocateCell(locs[i%2], locs[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5 / Fig. 5: relocation of routing resources --------------------------
+
+func BenchmarkFig5RouteRelocation(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl, err := itc99.Get("b01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	region, _ := place.AutoRegion(dev, nl, 2, 2, 0.35)
+	d, err := place.Place(dev, nl, place.Options{Region: region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := relocate.NewEngine(dev, directBenchPort(dev))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.MaxCyclesPerWait = 0
+	// A routed pin to bounce between alternative paths.
+	var tile fabric.Coord
+	local := -1
+	for _, ref := range d.OccupiedCells() {
+		for k := 0; k < fabric.LUTInputs; k++ {
+			l := fabric.LocalPinI(ref.Cell, k)
+			if dev.PIPMask(ref.Coord, l) != 0 {
+				tile, local = ref.Coord, l
+			}
+		}
+	}
+	if local < 0 {
+		b.Fatal("no routed pin")
+	}
+	b.ResetTimer()
+	fuzzSum := 0.0
+	for i := 0; i < b.N; i++ {
+		mv, err := eng.RerouteSink(tile, local)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fuzzSum += mv.FuzzinessNs()
+	}
+	b.ReportMetric(fuzzSum/float64(b.N), "fuzz-ns/move")
+}
+
+// --- E6 / Fig. 6: propagation-delay fuzziness ------------------------------
+
+func BenchmarkFig6DelayFuzziness(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV200)
+	once("fig6", func() {
+		// Sweep: route a net straight, then via increasingly long detours;
+		// fuzziness = |d_new - d_old|, parallel delay = max.
+		fmt.Println("\nFig.6 — delay fuzziness while original and replica paths are paralleled:")
+		fmt.Printf("%-14s %-12s %-12s %-12s %-12s\n", "detour(rows)", "d_old(ns)", "d_new(ns)", "parallel", "fuzziness")
+		src := dev.NodeIDAt(fabric.Coord{Row: 14, Col: 5}, fabric.LocalOutX(0))
+		dst := dev.NodeIDAt(fabric.Coord{Row: 14, Col: 30}, fabric.LocalPinI(0, 0))
+		r := route.NewRouter(dev)
+		direct, err := r.RouteAll([]route.Net{{Name: "d", Source: src, Sinks: []fabric.NodeID{dst}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dOld := direct[0].DelayTo(dev, dst)
+		for detour := 2; detour <= 12; detour += 2 {
+			r2 := route.NewRouter(dev)
+			// Block a wall forcing the detour. The wall is six columns
+			// wide so hex wires cannot jump across it.
+			for dr := -detour; dr <= detour; dr++ {
+				row := 14 + dr
+				if row < 0 || row >= dev.Rows {
+					continue
+				}
+				for wc := 0; wc < 6; wc++ {
+					for l := 0; l < fabric.NodeSlots; l++ {
+						kind, _, _ := fabric.DecodeLocal(l)
+						if kind == fabric.KindSingle || kind == fabric.KindHex {
+							r2.Block(dev.NodeIDAt(fabric.Coord{Row: row, Col: 15 + wc}, l))
+						}
+					}
+				}
+			}
+			alt, err := r2.RouteAll([]route.Net{{Name: "a", Source: src, Sinks: []fabric.NodeID{dst}}})
+			if err != nil {
+				continue
+			}
+			dNew := alt[0].DelayTo(dev, dst)
+			par := dOld
+			if dNew > par {
+				par = dNew
+			}
+			fuzz := dNew - dOld
+			if fuzz < 0 {
+				fuzz = -fuzz
+			}
+			fmt.Printf("%-14d %-12.2f %-12.2f %-12.2f %-12.2f\n", detour, dOld, dNew, par, fuzz)
+		}
+	})
+	src := dev.NodeIDAt(fabric.Coord{Row: 2, Col: 2}, fabric.LocalOutX(0))
+	dst := dev.NodeIDAt(fabric.Coord{Row: 20, Col: 35}, fabric.LocalPinI(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := route.NewRouter(dev)
+		nets, err := r.RouteAll([]route.Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{dst}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = nets[0].DelayTo(dev, dst)
+	}
+}
+
+// --- E7 / §4: defragmentation study ---------------------------------------
+
+func BenchmarkFig7Defrag(b *testing.B) {
+	stream := workload.Stream(workload.Config{
+		Seed: 7, N: 250, MeanInterarrival: 1 / 1.2, MeanService: 4.0,
+		MinSide: 2, MaxSide: 6, Dist: workload.Bimodal,
+	})
+	run := func(p rearrange.Planner) sched.Metrics {
+		s := sched.NewSimulator(sched.Config{
+			Rows: 12, Cols: 12, Policy: area.FirstFit, Planner: p, MaxWait: 10,
+		})
+		return s.Run(stream)
+	}
+	once("fig7", func() {
+		fmt.Println("\nDefragmentation study — allocation rate / waiting with on-line rearrangement:")
+		fmt.Printf("%-22s %-10s %-12s %-12s %-12s\n", "planner", "alloc", "mean-wait", "frag(mean)", "moved-CLBs")
+		for _, p := range []rearrange.Planner{
+			rearrange.None{}, rearrange.OrderedCompaction{}, rearrange.LocalRepacking{},
+		} {
+			m := run(p)
+			fmt.Printf("%-22s %-10.3f %-12.3f %-12.3f %-12d\n",
+				p.Name(), m.AllocationRate, m.MeanWaitSec, m.MeanFragmentation, m.RelocatedCLBs)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := run(rearrange.LocalRepacking{})
+		if m.Submitted != 250 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+// --- E8 / §2 headline: 22.6 ms mean CLB relocation time --------------------
+
+func BenchmarkTab226msRelocationTime(b *testing.B) {
+	// The paper: "The average relocation time of each CLB implementing
+	// synchronous gated-clock circuits is about 22.6 ms, when the Boundary
+	// Scan infrastructure is used ... at a test clock frequency of 20 MHz"
+	// (ITC'99 circuits on an XCV200). We relocate every occupied CLB of a
+	// mapped gated-clock ITC'99 circuit through the Boundary-Scan model
+	// and report the measured mean.
+	measure := func(circuit string) (msPerCLB float64, clbs int) {
+		dev := fabric.NewDevice(fabric.XCV200)
+		nl, err := itc99.Get(circuit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		region, err := place.AutoRegion(dev, nl, 4, 4, 0.35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := place.Place(dev, nl, place.Options{Region: region})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := relocate.NewEngine(dev, jtagBenchPort(dev))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.MaxCyclesPerWait = 0
+		// Relocate every occupied CLB of the region far away.
+		seen := map[fabric.Coord]bool{}
+		totalSec := 0.0
+		dstRow, dstCol := region.Row+region.H+3, region.Col
+		for _, ref := range d.OccupiedCells() {
+			if seen[ref.Coord] {
+				continue
+			}
+			seen[ref.Coord] = true
+			dst := fabric.Coord{Row: dstRow, Col: dstCol}
+			dstCol += 2
+			if dstCol >= dev.Cols-2 {
+				dstCol = region.Col
+				dstRow += 2
+			}
+			moves, err := eng.RelocateCLB(ref.Coord, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+				d.Rebind(fabric.CellRef{Coord: ref.Coord, Cell: cell}, fabric.CellRef{Coord: dst, Cell: cell})
+			}
+			for _, mv := range moves {
+				totalSec += mv.Seconds
+			}
+			clbs++
+			if clbs >= 24 { // enough CLBs for a stable mean
+				break
+			}
+		}
+		return totalSec * 1e3 / float64(clbs), clbs
+	}
+	once("e8", func() {
+		fmt.Println("\nHeadline — mean CLB relocation time, gated-clock ITC'99 on XCV200, Boundary-Scan @ 20 MHz:")
+		fmt.Printf("%-8s %-10s %-12s (paper: 22.6 ms)\n", "circuit", "CLBs", "ms/CLB")
+		for _, c := range []string{"b03", "b07", "b10"} {
+			ms, n := measure(c)
+			fmt.Printf("%-8s %-10d %-12.1f\n", c, n, ms)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, _ := measure("b03")
+		b.ReportMetric(ms, "ms/CLB")
+	}
+}
+
+// --- Ablation: configuration port comparison --------------------------------
+
+func BenchmarkAblationConfigPort(b *testing.B) {
+	once("ports", func() {
+		fmt.Println("\nAblation — configuration interface (same gated-cell relocation):")
+		fmt.Printf("%-16s %-12s\n", "port", "ms/cell")
+		for _, pk := range []struct {
+			name string
+			mk   func(*fabric.Device) bitstream.Port
+		}{
+			{"Boundary-Scan", jtagBenchPort},
+			{"SelectMAP", directBenchPort},
+		} {
+			eng, home, spare := pingPongSetup(b, "b03", true, pk.mk)
+			mv, err := eng.RelocateCell(home, spare)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fmt.Printf("%-16s %-12.2f\n", pk.name, mv.Seconds*1e3)
+		}
+	})
+	eng, home, spare := pingPongSetup(b, "b03", true, jtagBenchPort)
+	locs := [2]fabric.CellRef{home, spare}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RelocateCell(locs[i%2], locs[(i+1)%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: allocation policies ------------------------------------------
+
+func BenchmarkAblationPolicies(b *testing.B) {
+	stream := workload.Stream(workload.Config{
+		Seed: 11, N: 200, MeanInterarrival: 1.0, MeanService: 6.0,
+		MinSide: 3, MaxSide: 8, Dist: workload.Bimodal,
+	})
+	once("policies", func() {
+		fmt.Println("\nAblation — allocation policy under local repacking:")
+		fmt.Printf("%-14s %-10s %-12s\n", "policy", "alloc", "frag(mean)")
+		for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {
+			s := sched.NewSimulator(sched.Config{
+				Rows: 14, Cols: 14, Policy: p, Planner: rearrange.LocalRepacking{}, MaxWait: 15,
+			})
+			m := s.Run(stream)
+			fmt.Printf("%-14s %-10.3f %-12.3f\n", p, m.AllocationRate, m.MeanFragmentation)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sched.NewSimulator(sched.Config{
+			Rows: 14, Cols: 14, Policy: area.BestFit, Planner: rearrange.LocalRepacking{}, MaxWait: 15,
+		})
+		s.Run(stream)
+	}
+}
+
+// --- Ablation: device scaling ----------------------------------------------
+
+func BenchmarkAblationDeviceScaling(b *testing.B) {
+	// Frame length scales with device rows, so per-cell relocation time
+	// grows with the device — the paper notes reconfiguration time depends
+	// on the device and interface.
+	measure := func(preset fabric.Preset) float64 {
+		dev := fabric.NewDevice(preset)
+		nl, err := itc99.Get("b01")
+		if err != nil {
+			b.Fatal(err)
+		}
+		region, err := place.AutoRegion(dev, nl, 2, 2, 0.35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := place.Place(dev, nl, place.Options{Region: region})
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := relocate.NewEngine(dev, jtagBenchPort(dev))
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.MaxCyclesPerWait = 0
+		var from fabric.CellRef
+		for id, nd := range nl.Nodes {
+			if nd.Kind == netlist.KindFF {
+				if ref, ok := d.CellOf[netlist.ID(id)]; ok {
+					from = ref
+					break
+				}
+			}
+		}
+		to := fabric.CellRef{Coord: fabric.Coord{Row: dev.Rows - 3, Col: dev.Cols - 3}, Cell: from.Cell}
+		mv, err := eng.RelocateCell(from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return mv.Seconds * 1e3
+	}
+	once("scaling", func() {
+		fmt.Println("\nAblation — device scaling (same cell move, Boundary-Scan @ 20 MHz):")
+		fmt.Printf("%-10s %-10s %-12s %-10s\n", "device", "CLBs", "frame-bits", "ms/cell")
+		for _, p := range []fabric.Preset{fabric.XCV50, fabric.XCV200, fabric.XCV800} {
+			dev := fabric.NewDevice(p)
+			fmt.Printf("%-10s %-10d %-12d %-10.2f\n", p.Name, p.Rows*p.Cols, dev.FrameBits(), measure(p))
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = measure(fabric.XCV50)
+	}
+}

@@ -1,0 +1,113 @@
+// Command schedsim drives the run-time management experiments of the
+// reproduction: the Fig. 1 temporal/spatial scheduling study and the
+// defragmentation study (allocation rate and waiting time with and without
+// on-line rearrangement).
+//
+// Usage:
+//
+//	schedsim -experiment fig1
+//	schedsim -experiment defrag -rows 28 -cols 42 -tasks 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "defrag", "fig1 | defrag | policies")
+		rows       = flag.Int("rows", 28, "device rows (XCV200 = 28)")
+		cols       = flag.Int("cols", 42, "device columns (XCV200 = 42)")
+		tasks      = flag.Int("tasks", 400, "number of tasks (defrag)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		load       = flag.Float64("load", 1.0, "arrival rate (tasks/s)")
+	)
+	flag.Parse()
+
+	switch *experiment {
+	case "fig1":
+		fig1(*rows, *cols, *seed)
+	case "defrag":
+		defrag(*rows, *cols, *tasks, *seed, *load)
+	case "policies":
+		policies(*rows, *cols, *tasks, *seed, *load)
+	default:
+		fmt.Fprintf(os.Stderr, "schedsim: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// fig1 reproduces the paper's Fig. 1 story: applications sharing the device
+// in the temporal and spatial domains; swap-in-advance hides
+// reconfiguration until parallelism exhausts the space.
+func fig1(rows, cols int, seed uint64) {
+	fmt.Println("Fig. 1 — temporal scheduling of applications (stall vs. parallelism)")
+	fmt.Printf("%-6s %-12s %-12s %-12s %-12s %-10s\n",
+		"apps", "stall(s)", "hidden", "stalled", "rearranged", "util")
+	for _, planner := range []rearrange.Planner{rearrange.None{}, rearrange.LocalRepacking{}} {
+		fmt.Printf("-- planner: %s\n", planner.Name())
+		for apps := 1; apps <= 8; apps++ {
+			w := workload.Flows(workload.FlowConfig{
+				Seed: seed, Apps: apps, FnsPerApp: 6,
+				MinSide: 4, MaxSide: 8, MeanDuration: 60,
+			})
+			m := sched.RunFlows(sched.FlowConfig{
+				Rows: rows / 2, Cols: cols / 2, Policy: area.FirstFit,
+				Planner: planner, PrefetchLead: 4,
+			}, w)
+			fmt.Printf("%-6d %-12.2f %-12d %-12d %-12d %-10.2f\n",
+				apps, m.TotalStallSec, m.HiddenSwaps, m.StalledSwaps, m.RearrangedSwaps, m.MeanUtilisation)
+		}
+	}
+}
+
+// defrag reproduces the defragmentation study: allocation rate and waiting
+// time for the same task stream with three rearrangement strategies.
+func defrag(rows, cols, tasks int, seed uint64, load float64) {
+	stream := workload.Stream(workload.Config{
+		Seed: seed, N: tasks,
+		MeanInterarrival: 1.0 / load, MeanService: 6.0,
+		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
+	})
+	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, tasks, load)
+	fmt.Printf("%-22s %-10s %-10s %-12s %-12s %-12s %-10s\n",
+		"planner", "alloc", "immediate", "mean-wait", "frag(mean)", "frag(peak)", "moved-CLBs")
+	for _, planner := range []rearrange.Planner{
+		rearrange.None{}, rearrange.OrderedCompaction{}, rearrange.LocalRepacking{},
+	} {
+		s := sched.NewSimulator(sched.Config{
+			Rows: rows, Cols: cols, Policy: area.FirstFit,
+			Planner: planner, MaxWait: 20,
+		})
+		m := s.Run(stream)
+		fmt.Printf("%-22s %-10.3f %-10.3f %-12.3f %-12.3f %-12.3f %-10d\n",
+			planner.Name(), m.AllocationRate, m.ImmediateRate, m.MeanWaitSec,
+			m.MeanFragmentation, m.PeakFragmentation, m.RelocatedCLBs)
+	}
+}
+
+// policies compares the allocation policies under one planner.
+func policies(rows, cols, tasks int, seed uint64, load float64) {
+	stream := workload.Stream(workload.Config{
+		Seed: seed, N: tasks,
+		MeanInterarrival: 1.0 / load, MeanService: 6.0,
+		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
+	})
+	fmt.Printf("Placement-policy study — %dx%d CLBs, %d tasks\n", rows, cols, tasks)
+	fmt.Printf("%-14s %-10s %-12s %-12s\n", "policy", "alloc", "mean-wait", "frag(mean)")
+	for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {
+		s := sched.NewSimulator(sched.Config{
+			Rows: rows, Cols: cols, Policy: p,
+			Planner: rearrange.LocalRepacking{}, MaxWait: 20,
+		})
+		m := s.Run(stream)
+		fmt.Printf("%-14s %-10.3f %-12.3f %-12.3f\n", p, m.AllocationRate, m.MeanWaitSec, m.MeanFragmentation)
+	}
+}

@@ -1,0 +1,136 @@
+// Defrag demonstrates on-line defragmentation: several designs are loaded,
+// some are retired, and the survivors are relocated — while running — to
+// consolidate the free space so a large incoming function fits. This is the
+// paper's §1 scenario executed with real (simulated-fabric) relocations,
+// not just book-keeping.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rlm "repro"
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Load four small designs in the device's corners.
+	regions := []fabric.Rect{
+		{Row: 0, Col: 0, H: 5, W: 5},
+		{Row: 0, Col: 19, H: 5, W: 5},
+		{Row: 11, Col: 0, H: 5, W: 5},
+		{Row: 11, Col: 19, H: 5, W: 5},
+	}
+	group := sim.NewGroup(sys.Dev)
+	load := func(nlName string, i int, gen bool) {
+		var nl *netlist.Netlist
+		var err error
+		if gen {
+			nl = itc99.Generate(itc99.GenConfig{
+				Name: nlName, Inputs: 3, Outputs: 2, FFs: 8, LUTs: 16,
+				Seed: 99, Style: itc99.FreeRunning,
+			})
+		} else {
+			nl, err = itc99.Get(nlName)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		d, err := sys.Load(nl, regions[i])
+		if err != nil {
+			log.Fatalf("loading %s: %v", nlName, err)
+		}
+		if _, err := group.Add(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	load("b01", 0, false)
+	load("b02", 1, false)
+	load("b06", 2, false)
+	load("dsp", 3, true)
+	fmt.Printf("four designs resident:\n%s", sys.Area.String())
+	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
+		sys.Fragmentation(), sys.Area.MaxFreeRect())
+
+	// Keep everything running (and verified) during all that follows.
+	rng := uint64(77)
+	stepAll := func(cycles int) error {
+		for i := 0; i < cycles; i++ {
+			inputs := make([][]bool, len(group.Members))
+			for k, m := range group.Members {
+				in := make([]bool, len(m.Design.NL.Inputs()))
+				for j := range in {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					in[j] = rng>>40&1 == 1
+				}
+				inputs[k] = in
+			}
+			if err := group.Step(inputs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sys.Engine.Clock = stepAll
+	if err := stepAll(10); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two designs finish; their space frees but the rest is scattered.
+	for _, retire := range []string{"b02", "b06"} {
+		// Remove from the verification group first.
+		var kept []*sim.Member
+		for _, m := range group.Members {
+			if m.Design.Name != retire {
+				kept = append(kept, m)
+			}
+		}
+		group.Members = kept
+		if err := sys.Unload(retire); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nafter retiring b02 and b06:\n%s", sys.Area.String())
+	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
+		sys.Fragmentation(), sys.Area.MaxFreeRect())
+
+	// An incoming function needs an 11x20 region: free CLBs suffice but no
+	// contiguous rectangle exists. Defragment by moving "dsp" up beside
+	// b01's row band — while both keep running.
+	need := fabric.Rect{H: 11, W: 20}
+	if _, ok := sys.Area.FindPlacement(need.H, need.W, 0); ok {
+		log.Fatal("scenario broken: the region already fits")
+	}
+	fmt.Printf("\nincoming function needs %dx%d: no contiguous space — rearranging\n", need.H, need.W)
+
+	if err := sys.Move("dsp", fabric.Rect{Row: 0, Col: 19, H: 5, W: 5}); err != nil {
+		log.Fatalf("relocating dsp: %v", err)
+	}
+	if err := stepAll(20); err != nil {
+		log.Fatalf("designs disturbed by defragmentation: %v", err)
+	}
+	if err := group.CheckState(); err != nil {
+		log.Fatalf("state corrupted: %v", err)
+	}
+
+	fmt.Printf("\nafter on-line defragmentation (dsp relocated while running):\n%s", sys.Area.String())
+	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
+		sys.Fragmentation(), sys.Area.MaxFreeRect())
+	if rect, ok := sys.Area.FindPlacement(need.H, need.W, 0); ok {
+		fmt.Printf("the %dx%d function now fits at %v\n", need.H, need.W, rect)
+	} else {
+		log.Fatal("defragmentation failed to open the region")
+	}
+	st := sys.Stats()
+	fmt.Printf("\nrelocation cost: %d cells, %d frames, %.1f ms of %s traffic\n",
+		st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3, sys.Port.Name())
+	fmt.Println("running designs never glitched and kept all state (verified cycle by cycle)")
+}

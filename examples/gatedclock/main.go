@@ -1,0 +1,95 @@
+// Gatedclock demonstrates the heart of the paper's Fig. 3: relocating a
+// flip-flop whose clock enable stays LOW for the whole relocation. The
+// plain two-phase copy provably loses the state; the auxiliary relocation
+// circuit (2:1 mux + OR gate in a nearby free CLB, controlled through the
+// configuration memory) transfers it correctly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rlm "repro"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func buildSystem() (*rlm.System, *sim.LockStep, fabric.CellRef) {
+	nl := netlist.New("gated")
+	d := nl.Input("d")
+	ce := nl.Input("ce")
+	ff := nl.FF("r", d, ce, false)
+	nl.Output("q", ff)
+
+	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := sys.Load(nl, fabric.Rect{Row: 3, Col: 3, H: 1, W: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Capture a 1, then hold CE low: the FF must remember the 1.
+	if err := ls.Step([]bool{true, true}); err != nil {
+		log.Fatal(err)
+	}
+	ffID, _ := nl.ByName("r")
+	return sys, ls, design.CellOf[ffID]
+}
+
+func run(forcePlain bool) error {
+	sys, ls, from := buildSystem()
+	sys.Engine.ForcePlainProcedure = forcePlain
+	toggle := false
+	step := func(n int) error {
+		for i := 0; i < n; i++ {
+			toggle = !toggle
+			// D keeps toggling, CE stays LOW: the state may not change.
+			if err := ls.Step([]bool{toggle, false}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := step(5); err != nil {
+		return err
+	}
+	sys.Engine.Clock = step
+	to := fabric.CellRef{Coord: fabric.Coord{Row: 10, Col: 10}, Cell: from.Cell}
+	mv, err := sys.Engine.RelocateCell(from, to)
+	if err != nil {
+		return err
+	}
+	d, _ := sys.Design("gated")
+	d.Rebind(from, to)
+	if mv.UsedAux {
+		fmt.Printf("  aux circuit in CLB %v, %d frames, %.2f ms\n", mv.Aux, mv.Frames, mv.Seconds*1e3)
+	} else {
+		fmt.Printf("  plain two-phase copy, %d frames, %.2f ms\n", mv.Frames, mv.Seconds*1e3)
+	}
+	if err := step(8); err != nil {
+		return err
+	}
+	return ls.CheckState()
+}
+
+func main() {
+	fmt.Println("relocating a gated-clock FF holding state=1 with CE low throughout:")
+	fmt.Println("with auxiliary relocation circuit (paper's procedure):")
+	if err := run(false); err != nil {
+		log.Fatalf("  UNEXPECTED FAILURE: %v", err)
+	}
+	fmt.Println("  state preserved, no glitches — as the paper reports")
+
+	fmt.Println("without it (naive two-phase copy, the paper's negative case):")
+	if err := run(true); err != nil {
+		fmt.Printf("  fails as predicted: %v\n", err)
+	} else {
+		log.Fatal("  unexpectedly survived — the ablation should fail")
+	}
+}

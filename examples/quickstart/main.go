@@ -1,0 +1,103 @@
+// Quickstart: build a small sequential circuit, implement it on a simulated
+// Virtex-class device, run it cycle-accurately against its golden model,
+// and relocate one of its live CLBs through the Boundary-Scan port — all
+// without the circuit missing a beat.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rlm "repro"
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func main() {
+	// A 4-bit counter with enable: classic "function currently running".
+	nl := netlist.New("counter4")
+	en := nl.Input("en")
+	carry := en
+	for i := 0; i < 4; i++ {
+		ff := nl.FF(fmt.Sprintf("q%d", i), netlist.None, netlist.None, false)
+		x := nl.LUT(fmt.Sprintf("x%d", i), fabric.LUTXor2, ff, carry)
+		nl.SetD(ff, x)
+		if i < 3 {
+			carry = nl.LUT(fmt.Sprintf("c%d", i), fabric.LUTAnd2, ff, carry)
+		}
+		nl.Output(fmt.Sprintf("o%d", i), ff)
+	}
+
+	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := sys.Load(nl, fabric.Rect{Row: 2, Col: 2, H: 2, W: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counter implemented in region %v of %s\n", design.Region, sys.Dev.Name)
+
+	// Run in lock-step with the golden model.
+	ls, err := sim.NewLockStep(design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := ls.Step([]bool{true}); err != nil {
+				log.Fatalf("cycle %d: %v", i, err)
+			}
+		}
+	}
+	count(5)
+	fmt.Printf("after 5 cycles: count = %d (golden agrees every cycle)\n", readCount(ls, nl))
+
+	// Relocate one live CLB while the counter keeps counting.
+	sys.Engine.Clock = func(cycles int) error {
+		for i := 0; i < cycles; i++ {
+			if err := ls.Step([]bool{true}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var from fabric.Coord
+	for _, ref := range design.OccupiedCells() {
+		from = ref.Coord
+		break
+	}
+	to := fabric.Coord{Row: 10, Col: 10}
+	moves, err := sys.Engine.RelocateCLB(from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+		design.Rebind(fabric.CellRef{Coord: from, Cell: cell}, fabric.CellRef{Coord: to, Cell: cell})
+	}
+	totalMs := 0.0
+	frames := 0
+	for _, mv := range moves {
+		totalMs += mv.Seconds * 1e3
+		frames += mv.Frames
+	}
+	fmt.Printf("relocated CLB %v -> %v while running: %d cells, %d frames, %.2f ms over %s\n",
+		from, to, len(moves), frames, totalMs, sys.Port.Name())
+
+	count(7)
+	if err := ls.CheckState(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after 12 cycles total: count = %d — no glitch, no state loss\n", readCount(ls, nl))
+}
+
+func readCount(ls *sim.LockStep, nl *netlist.Netlist) int {
+	v := 0
+	for i, id := range nl.Outputs() {
+		if ls.Fab.PadValue(ls.Design.PadOf[id]).Bool() {
+			v |= 1 << i
+		}
+	}
+	return v
+}

@@ -1,0 +1,80 @@
+// Videoswap reproduces the paper's Fig. 1 motivation at system level: a
+// set-top-box-style platform where several applications (video decode,
+// audio, comms) share one FPGA whose total resource demand exceeds 100% of
+// the device, swapping functions in and out as their flows progress. With
+// prefetch the reconfiguration interval rt hides behind execution; as
+// parallelism grows the space runs out and stalls appear; on-line
+// rearrangement wins them back.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Three named applications with hand-written function chains, like the
+	// paper's Appl.A/B/C.
+	apps := []workload.App{
+		{Name: "video", Functions: []workload.Fn{
+			{Name: "demux", H: 6, W: 6, Duration: 40},
+			{Name: "idct", H: 8, W: 8, Duration: 60},
+			{Name: "motion", H: 7, W: 9, Duration: 55},
+			{Name: "deblock", H: 6, W: 7, Duration: 45},
+		}},
+		{Name: "audio", Functions: []workload.Fn{
+			{Name: "huffman", H: 4, W: 5, Duration: 30},
+			{Name: "subband", H: 5, W: 5, Duration: 50},
+			{Name: "window", H: 4, W: 4, Duration: 35},
+			{Name: "mix", H: 5, W: 6, Duration: 40},
+		}},
+		{Name: "comms", Functions: []workload.Fn{
+			{Name: "viterbi", H: 7, W: 7, Duration: 70},
+			{Name: "crc", H: 3, W: 4, Duration: 25},
+			{Name: "frame", H: 5, W: 7, Duration: 45},
+			{Name: "cipher", H: 6, W: 6, Duration: 50},
+		}},
+	}
+	total := 0
+	for _, a := range apps {
+		for _, f := range a.Functions {
+			total += f.H * f.W
+		}
+	}
+	const rows, cols = 14, 14
+	fmt.Printf("device: %dx%d = %d CLBs; total demand of all functions: %d CLBs (%.0f%%)\n",
+		rows, cols, rows*cols, total, 100*float64(total)/float64(rows*cols))
+	fmt.Println("virtual hardware: the applications fit only because functions share the space over time")
+	fmt.Println()
+
+	for _, planner := range []rearrange.Planner{rearrange.None{}, rearrange.LocalRepacking{}} {
+		m := sched.RunFlows(sched.FlowConfig{
+			Rows: rows, Cols: cols, Policy: area.FirstFit,
+			Planner: planner, PrefetchLead: 10,
+		}, apps)
+		fmt.Printf("planner=%-18s functions=%2d hidden=%2d stalled=%2d rearranged=%2d stall=%6.2fs util=%.2f\n",
+			planner.Name(), m.FunctionsRun, m.HiddenSwaps, m.StalledSwaps,
+			m.RearrangedSwaps, m.TotalStallSec, m.MeanUtilisation)
+	}
+	fmt.Println()
+	fmt.Println("scaling parallelism (generated app mix, Fig. 1's 'degree of parallelism'):")
+	fmt.Printf("%-6s %-14s %-14s\n", "apps", "stall none(s)", "stall repack(s)")
+	for n := 2; n <= 7; n++ {
+		gen := workload.Flows(workload.FlowConfig{
+			Seed: 13, Apps: n, FnsPerApp: 6, MinSide: 4, MaxSide: 8, MeanDuration: 60,
+		})
+		run := func(p rearrange.Planner) sched.FlowMetrics {
+			return sched.RunFlows(sched.FlowConfig{
+				Rows: rows, Cols: cols, Policy: area.FirstFit,
+				Planner: p, PrefetchLead: 4,
+			}, gen)
+		}
+		a := run(rearrange.None{})
+		b := run(rearrange.LocalRepacking{})
+		fmt.Printf("%-6d %-14.2f %-14.2f\n", n, a.TotalStallSec, b.TotalStallSec)
+	}
+}

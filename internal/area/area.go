@@ -1,0 +1,330 @@
+// Package area manages the FPGA logic space as a 2D grid of CLBs: it tracks
+// occupancy per task, finds placements under several allocation policies,
+// and measures fragmentation — the quantity the paper's on-line
+// rearrangement exists to fight ("unallocated areas tend to become so small
+// that they fail to satisfy any request and for that reason remain unused,
+// leading to a fragmentation of the FPGA logic space").
+package area
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fabric"
+)
+
+// Policy selects the placement heuristic.
+type Policy uint8
+
+const (
+	// FirstFit takes the first feasible position in row-major order.
+	FirstFit Policy = iota
+	// BestFit takes the feasible position with the highest contact
+	// perimeter against occupied cells and device borders (tightest
+	// packing).
+	BestFit
+	// BottomLeft takes the feasible position with the largest row, then
+	// the smallest column (classic BL packing).
+	BottomLeft
+)
+
+var policyNames = [...]string{"first-fit", "best-fit", "bottom-left"}
+
+func (p Policy) String() string { return policyNames[p] }
+
+// Manager tracks allocations on an R x C CLB grid.
+type Manager struct {
+	Rows, Cols int
+	occ        []int // 0 = free, else allocation id
+	allocs     map[int]fabric.Rect
+	next       int
+}
+
+// NewManager creates an empty grid.
+func NewManager(rows, cols int) *Manager {
+	return &Manager{
+		Rows:   rows,
+		Cols:   cols,
+		occ:    make([]int, rows*cols),
+		allocs: map[int]fabric.Rect{},
+		next:   1,
+	}
+}
+
+// NewManagerFor sizes the grid to a device.
+func NewManagerFor(dev *fabric.Device) *Manager { return NewManager(dev.Rows, dev.Cols) }
+
+func (m *Manager) idx(r, c int) int { return r*m.Cols + c }
+
+// Occupied reports whether a CLB is allocated.
+func (m *Manager) Occupied(c fabric.Coord) bool {
+	return m.occ[m.idx(c.Row, c.Col)] != 0
+}
+
+// OwnerAt returns the allocation id covering a CLB (0 = free).
+func (m *Manager) OwnerAt(c fabric.Coord) int { return m.occ[m.idx(c.Row, c.Col)] }
+
+// Rect returns the rectangle of an allocation.
+func (m *Manager) Rect(id int) (fabric.Rect, bool) {
+	r, ok := m.allocs[id]
+	return r, ok
+}
+
+// Allocations returns the live allocation ids.
+func (m *Manager) Allocations() []int {
+	out := make([]int, 0, len(m.allocs))
+	for id := range m.allocs {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FreeCLBs returns the number of unallocated CLBs.
+func (m *Manager) FreeCLBs() int {
+	n := 0
+	for _, v := range m.occ {
+		if v == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// fits reports whether rect is in bounds and fully free.
+func (m *Manager) fits(rect fabric.Rect) bool {
+	if rect.Row < 0 || rect.Col < 0 || rect.Row+rect.H > m.Rows || rect.Col+rect.W > m.Cols {
+		return false
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			if m.occ[m.idx(r, c)] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FindPlacement searches for a feasible H x W rectangle under the policy
+// without committing it.
+func (m *Manager) FindPlacement(h, w int, policy Policy) (fabric.Rect, bool) {
+	best := fabric.Rect{}
+	found := false
+	bestScore := -1 << 60
+	for r := 0; r+h <= m.Rows; r++ {
+		for c := 0; c+w <= m.Cols; c++ {
+			rect := fabric.Rect{Row: r, Col: c, H: h, W: w}
+			if !m.fits(rect) {
+				continue
+			}
+			switch policy {
+			case FirstFit:
+				return rect, true
+			case BottomLeft:
+				score := r*m.Cols + (m.Cols - c)
+				if score > bestScore {
+					bestScore, best, found = score, rect, true
+				}
+			case BestFit:
+				score := m.contact(rect)
+				if score > bestScore {
+					bestScore, best, found = score, rect, true
+				}
+			}
+		}
+	}
+	return best, found
+}
+
+// contact measures the rectangle's adjacency to occupied cells and borders.
+func (m *Manager) contact(rect fabric.Rect) int {
+	score := 0
+	side := func(r, c int) {
+		if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+			score++ // device border counts
+			return
+		}
+		if m.occ[m.idx(r, c)] != 0 {
+			score++
+		}
+	}
+	for c := rect.Col; c < rect.Col+rect.W; c++ {
+		side(rect.Row-1, c)
+		side(rect.Row+rect.H, c)
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		side(r, rect.Col-1)
+		side(r, rect.Col+rect.W)
+	}
+	return score
+}
+
+// Allocate finds and commits an H x W rectangle, returning its id.
+func (m *Manager) Allocate(h, w int, policy Policy) (int, fabric.Rect, bool) {
+	rect, ok := m.FindPlacement(h, w, policy)
+	if !ok {
+		return 0, fabric.Rect{}, false
+	}
+	id := m.commit(rect)
+	return id, rect, true
+}
+
+// AllocateAt commits an explicit rectangle (must be free).
+func (m *Manager) AllocateAt(rect fabric.Rect) (int, error) {
+	if !m.fits(rect) {
+		return 0, fmt.Errorf("area: rect %v not free", rect)
+	}
+	return m.commit(rect), nil
+}
+
+func (m *Manager) commit(rect fabric.Rect) int {
+	id := m.next
+	m.next++
+	m.allocs[id] = rect
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			m.occ[m.idx(r, c)] = id
+		}
+	}
+	return id
+}
+
+// Free releases an allocation.
+func (m *Manager) Free(id int) error {
+	rect, ok := m.allocs[id]
+	if !ok {
+		return fmt.Errorf("area: unknown allocation %d", id)
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			m.occ[m.idx(r, c)] = 0
+		}
+	}
+	delete(m.allocs, id)
+	return nil
+}
+
+// Move reassigns an allocation to a new rectangle (the physical relocation
+// is the engine's business; this updates the book-keeping).
+func (m *Manager) Move(id int, to fabric.Rect) error {
+	rect, ok := m.allocs[id]
+	if !ok {
+		return fmt.Errorf("area: unknown allocation %d", id)
+	}
+	// Clear, check, commit (the regions may not overlap for safety: staged
+	// relocation goes through free space).
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			m.occ[m.idx(r, c)] = 0
+		}
+	}
+	if !m.fits(to) {
+		// roll back
+		for r := rect.Row; r < rect.Row+rect.H; r++ {
+			for c := rect.Col; c < rect.Col+rect.W; c++ {
+				m.occ[m.idx(r, c)] = id
+			}
+		}
+		return fmt.Errorf("area: move target %v not free", to)
+	}
+	for r := to.Row; r < to.Row+to.H; r++ {
+		for c := to.Col; c < to.Col+to.W; c++ {
+			m.occ[m.idx(r, c)] = id
+		}
+	}
+	m.allocs[id] = to
+	return nil
+}
+
+// MaxFreeRect returns the largest-area free rectangle (maximal-rectangle
+// histogram algorithm, O(Rows*Cols)).
+func (m *Manager) MaxFreeRect() fabric.Rect {
+	heights := make([]int, m.Cols)
+	best := fabric.Rect{}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.occ[m.idx(r, c)] == 0 {
+				heights[c]++
+			} else {
+				heights[c] = 0
+			}
+		}
+		// Largest rectangle in histogram via stack.
+		type entry struct{ col, h int }
+		var stack []entry
+		for c := 0; c <= m.Cols; c++ {
+			h := 0
+			if c < m.Cols {
+				h = heights[c]
+			}
+			start := c
+			for len(stack) > 0 && stack[len(stack)-1].h > h {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				area := top.h * (c - top.col)
+				if area > best.Area() {
+					best = fabric.Rect{Row: r - top.h + 1, Col: top.col, H: top.h, W: c - top.col}
+				}
+				start = top.col
+			}
+			if h > 0 && (len(stack) == 0 || stack[len(stack)-1].h < h) {
+				stack = append(stack, entry{start, h})
+			}
+		}
+	}
+	return best
+}
+
+// Fragmentation is 1 - (largest free rectangle / total free area): 0 when
+// all free space is one rectangle, approaching 1 as free space shatters.
+func (m *Manager) Fragmentation() float64 {
+	free := m.FreeCLBs()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(m.MaxFreeRect().Area())/float64(free)
+}
+
+// CanFit reports whether an H x W task fits anywhere right now.
+func (m *Manager) CanFit(h, w int) bool {
+	_, ok := m.FindPlacement(h, w, FirstFit)
+	return ok
+}
+
+// Utilisation is the fraction of CLBs allocated.
+func (m *Manager) Utilisation() float64 {
+	return 1 - float64(m.FreeCLBs())/float64(m.Rows*m.Cols)
+}
+
+// String renders the grid (for the tool's display; '.' free, letters by id).
+func (m *Manager) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			id := m.occ[m.idx(r, c)]
+			if id == 0 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte(byte('A' + (id-1)%26))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of the manager (planners simulate
+// rearrangements on clones before committing to the fabric).
+func (m *Manager) Clone() *Manager {
+	cp := &Manager{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		occ:    append([]int{}, m.occ...),
+		allocs: make(map[int]fabric.Rect, len(m.allocs)),
+		next:   m.next,
+	}
+	for id, r := range m.allocs {
+		cp.allocs[id] = r
+	}
+	return cp
+}

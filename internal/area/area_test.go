@@ -1,0 +1,238 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+)
+
+func TestAllocateFreeBasics(t *testing.T) {
+	m := NewManager(8, 8)
+	id, rect, ok := m.Allocate(3, 4, FirstFit)
+	if !ok {
+		t.Fatal("allocation failed on empty grid")
+	}
+	if rect.H != 3 || rect.W != 4 {
+		t.Fatalf("rect = %v", rect)
+	}
+	if m.FreeCLBs() != 64-12 {
+		t.Errorf("FreeCLBs = %d", m.FreeCLBs())
+	}
+	for _, c := range rect.Coords() {
+		if !m.Occupied(c) || m.OwnerAt(c) != id {
+			t.Fatalf("cell %v not owned by %d", c, id)
+		}
+	}
+	if err := m.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if m.FreeCLBs() != 64 {
+		t.Error("free did not release cells")
+	}
+	if err := m.Free(id); err == nil {
+		t.Error("double free accepted")
+	}
+}
+
+func TestFirstFitOrder(t *testing.T) {
+	m := NewManager(4, 8)
+	_, r1, _ := m.Allocate(2, 2, FirstFit)
+	if r1.Row != 0 || r1.Col != 0 {
+		t.Errorf("first fit not at origin: %v", r1)
+	}
+	_, r2, _ := m.Allocate(2, 2, FirstFit)
+	if r2.Row != 0 || r2.Col != 2 {
+		t.Errorf("second fit = %v, want R0C2", r2)
+	}
+}
+
+func TestBottomLeftPolicy(t *testing.T) {
+	m := NewManager(6, 6)
+	_, r, ok := m.Allocate(2, 2, BottomLeft)
+	if !ok || r.Row != 4 || r.Col != 0 {
+		t.Errorf("bottom-left = %v, want R4C0", r)
+	}
+}
+
+func TestBestFitPrefersCorners(t *testing.T) {
+	m := NewManager(6, 6)
+	_, r, ok := m.Allocate(2, 2, BestFit)
+	if !ok {
+		t.Fatal("no fit")
+	}
+	corner := (r.Row == 0 || r.Row == 4) && (r.Col == 0 || r.Col == 4)
+	if !corner {
+		t.Errorf("best fit on empty grid = %v, want a corner", r)
+	}
+}
+
+func TestAllocateAtAndOverlap(t *testing.T) {
+	m := NewManager(6, 6)
+	if _, err := m.AllocateAt(fabric.Rect{Row: 1, Col: 1, H: 2, W: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocateAt(fabric.Rect{Row: 2, Col: 2, H: 2, W: 2}); err == nil {
+		t.Error("overlapping allocation accepted")
+	}
+	if _, err := m.AllocateAt(fabric.Rect{Row: 5, Col: 5, H: 2, W: 2}); err == nil {
+		t.Error("out-of-bounds allocation accepted")
+	}
+}
+
+func TestMove(t *testing.T) {
+	m := NewManager(6, 6)
+	id, _ := m.AllocateAt(fabric.Rect{Row: 0, Col: 0, H: 2, W: 2})
+	if err := m.Move(id, fabric.Rect{Row: 4, Col: 4, H: 2, W: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Occupied(fabric.Coord{Row: 0, Col: 0}) {
+		t.Error("old cells still occupied")
+	}
+	if !m.Occupied(fabric.Coord{Row: 5, Col: 5}) {
+		t.Error("new cells not occupied")
+	}
+	// Move onto an occupied target rolls back.
+	id2, _ := m.AllocateAt(fabric.Rect{Row: 0, Col: 0, H: 2, W: 2})
+	if err := m.Move(id2, fabric.Rect{Row: 4, Col: 4, H: 2, W: 2}); err == nil {
+		t.Fatal("move onto occupied target accepted")
+	}
+	if !m.Occupied(fabric.Coord{Row: 0, Col: 0}) {
+		t.Error("rollback lost the original cells")
+	}
+}
+
+func TestMaxFreeRectEmptyAndFull(t *testing.T) {
+	m := NewManager(5, 7)
+	if r := m.MaxFreeRect(); r.Area() != 35 {
+		t.Errorf("empty grid max rect = %v", r)
+	}
+	for r := 0; r < 5; r++ {
+		m.AllocateAt(fabric.Rect{Row: r, Col: 0, H: 1, W: 7})
+	}
+	if r := m.MaxFreeRect(); r.Area() != 0 {
+		t.Errorf("full grid max rect = %v", r)
+	}
+}
+
+func TestMaxFreeRectCheckerboardPattern(t *testing.T) {
+	// Occupy a column splitting the free space: max rect is the larger
+	// side.
+	m := NewManager(4, 9)
+	m.AllocateAt(fabric.Rect{Row: 0, Col: 3, H: 4, W: 1})
+	r := m.MaxFreeRect()
+	if r.Area() != 4*5 {
+		t.Errorf("max rect = %v (area %d), want area 20", r, r.Area())
+	}
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	m := NewManager(4, 8)
+	if f := m.Fragmentation(); f != 0 {
+		t.Errorf("empty fragmentation = %f", f)
+	}
+	// Comb pattern: occupy every other column -> free space shattered.
+	for c := 1; c < 8; c += 2 {
+		m.AllocateAt(fabric.Rect{Row: 0, Col: c, H: 4, W: 1})
+	}
+	f := m.Fragmentation()
+	if f <= 0.5 {
+		t.Errorf("comb fragmentation = %f, want > 0.5", f)
+	}
+	// Compact pattern of the same utilisation fragments far less.
+	m2 := NewManager(4, 8)
+	m2.AllocateAt(fabric.Rect{Row: 0, Col: 0, H: 4, W: 4})
+	if f2 := m2.Fragmentation(); f2 != 0 {
+		t.Errorf("compact fragmentation = %f, want 0", f2)
+	}
+}
+
+func TestCanFitReflectsFragmentation(t *testing.T) {
+	// The motivating scenario: enough total free space, but no contiguous
+	// rectangle — the request fails.
+	m := NewManager(4, 8)
+	for c := 1; c < 8; c += 2 {
+		m.AllocateAt(fabric.Rect{Row: 0, Col: c, H: 4, W: 1})
+	}
+	if m.FreeCLBs() < 16 {
+		t.Fatal("test setup wrong")
+	}
+	if m.CanFit(4, 2) {
+		t.Error("4x2 should not fit in a comb of 1-wide gaps")
+	}
+	if !m.CanFit(4, 1) {
+		t.Error("4x1 should fit")
+	}
+}
+
+func TestUtilisation(t *testing.T) {
+	m := NewManager(4, 4)
+	m.AllocateAt(fabric.Rect{Row: 0, Col: 0, H: 2, W: 2})
+	if u := m.Utilisation(); u != 0.25 {
+		t.Errorf("utilisation = %f", u)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := NewManager(2, 3)
+	m.AllocateAt(fabric.Rect{Row: 0, Col: 0, H: 1, W: 2})
+	s := m.String()
+	if s != "AA.\n...\n" {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestAllocateFreeProperty(t *testing.T) {
+	// Allocating then freeing any feasible rectangle restores the grid.
+	f := func(row, col, h, w uint8) bool {
+		m := NewManager(10, 10)
+		rect := fabric.Rect{
+			Row: int(row) % 10, Col: int(col) % 10,
+			H: 1 + int(h)%4, W: 1 + int(w)%4,
+		}
+		id, err := m.AllocateAt(rect)
+		if err != nil {
+			return true // infeasible rects are fine
+		}
+		if m.FreeCLBs() != 100-rect.Area() {
+			return false
+		}
+		if m.Free(id) != nil {
+			return false
+		}
+		return m.FreeCLBs() == 100 && m.Fragmentation() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxFreeRectIsActuallyFree(t *testing.T) {
+	// Property: the reported max free rect must be entirely free and must
+	// not be smaller than any free square we can find by scanning.
+	f := func(seed uint32) bool {
+		m := NewManager(8, 8)
+		s := uint64(seed)*2654435761 + 1
+		for i := 0; i < 6; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			r := int(s>>33) % 8
+			c := int(s>>43) % 8
+			h := 1 + int(s>>53)%3
+			w := 1 + int(s>>59)%3
+			m.AllocateAt(fabric.Rect{Row: r, Col: c, H: h, W: w})
+		}
+		best := m.MaxFreeRect()
+		if best.Area() == 0 {
+			return m.FreeCLBs() == 0
+		}
+		for _, c := range best.Coords() {
+			if m.Occupied(c) {
+				return false
+			}
+		}
+		return m.fits(best)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

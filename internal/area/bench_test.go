@@ -1,0 +1,37 @@
+package area
+
+import (
+	"testing"
+)
+
+func fragGrid() *Manager {
+	m := NewManager(28, 42) // XCV200 geometry
+	s := uint64(5)
+	for i := 0; i < 60; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		h := 1 + int(s>>40)%5
+		w := 1 + int(s>>50)%5
+		m.Allocate(h, w, Policy(int(s>>60)%3))
+	}
+	return m
+}
+
+func BenchmarkMaxFreeRectXCV200(b *testing.B) {
+	m := fragGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.MaxFreeRect()
+	}
+}
+
+func BenchmarkAllocateFreeCycle(b *testing.B) {
+	m := fragGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, _, ok := m.Allocate(3, 3, BestFit)
+		if !ok {
+			b.Fatal("no space")
+		}
+		m.Free(id)
+	}
+}

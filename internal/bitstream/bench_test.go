@@ -1,0 +1,33 @@
+package bitstream
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func BenchmarkFullBitstreamBuild(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Full(dev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullConfigure(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV200)
+	words, err := Full(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(words) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl := NewController(fabric.NewDevice(fabric.XCV200))
+		if err := ctl.Feed(words...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

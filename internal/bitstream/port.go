@@ -1,0 +1,66 @@
+package bitstream
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// Port is a configuration interface of the device: it delivers partial
+// bitstreams and performs readback, accounting for the transport time
+// consumed. The paper uses the Boundary-Scan port (internal/jtag implements
+// it); a SelectMAP-style parallel port is provided here for the
+// interface-comparison ablation.
+type Port interface {
+	// WriteUpdates delivers frame updates as a partial bitstream.
+	WriteUpdates(updates []FrameUpdate) error
+	// ReadFrame reads one frame back through the port.
+	ReadFrame(addr fabric.FrameAddr) ([]uint32, error)
+	// Elapsed returns the cumulative transport time in seconds.
+	Elapsed() float64
+	// Name identifies the port type for reports.
+	Name() string
+}
+
+// ParallelPort models a SelectMAP-style byte-parallel configuration port:
+// one byte per clock, so a 32-bit word takes four clocks.
+type ParallelPort struct {
+	Ctrl    *Controller
+	ClockHz float64
+	cycles  uint64
+}
+
+// NewParallelPort attaches a SelectMAP-style port to a controller.
+func NewParallelPort(ctrl *Controller, clockHz float64) *ParallelPort {
+	return &ParallelPort{Ctrl: ctrl, ClockHz: clockHz}
+}
+
+// WriteUpdates implements Port.
+func (p *ParallelPort) WriteUpdates(updates []FrameUpdate) error {
+	words := Partial(p.Ctrl.Device(), updates)
+	p.cycles += uint64(4 * len(words))
+	return p.Ctrl.Feed(words...)
+}
+
+// ReadFrame implements Port.
+func (p *ParallelPort) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
+	req := ReadFramesRequest(p.Ctrl.Device().FrameWords(), FAR{Major: addr.Major, Minor: addr.Minor}, 1)
+	out, err := p.Ctrl.ExecRead(req)
+	if err != nil {
+		return nil, err
+	}
+	p.cycles += uint64(4 * (len(req) + len(out)))
+	if len(out) != p.Ctrl.Device().FrameWords() {
+		return nil, fmt.Errorf("bitstream: readback returned %d words", len(out))
+	}
+	return out, nil
+}
+
+// Elapsed implements Port.
+func (p *ParallelPort) Elapsed() float64 { return float64(p.cycles) / p.ClockHz }
+
+// Name implements Port.
+func (p *ParallelPort) Name() string { return "SelectMAP" }
+
+// Cycles returns the raw clock cycle count.
+func (p *ParallelPort) Cycles() uint64 { return p.cycles }

@@ -1,0 +1,21 @@
+// Package fabric models a Virtex-class partially reconfigurable FPGA at the
+// level of detail required by the DATE 2003 paper "Run-Time Management of
+// Logic Resources on Reconfigurable Systems" (Gericota et al.):
+//
+//   - an array of CLBs, each with four logic cells (4-input LUT, optional
+//     FF or transparent latch with clock-enable, a direct FF-bypass input
+//     BX, and separate combinational X and registered XQ outputs);
+//   - an island-style routing fabric of single-length and hex-length wire
+//     segments joined by programmable interconnect points (PIPs), where a
+//     routing sink may have SEVERAL PIPs enabled at once (the physical
+//     basis for the paper's "place outputs in parallel" trick);
+//   - a frame-organised configuration memory: the frame is the smallest
+//     unit that can be read or written, frames group into per-column
+//     configuration columns mixing logic and routing bits, and rewriting
+//     identical bits is glitch-free.
+//
+// The bit-level layout is synthetic (documented in DESIGN.md) but preserves
+// every architectural property the relocation procedure depends on: frame
+// granularity, column organisation, multi-column spill of a single CLB's
+// connectivity, and PIP-parallel connections.
+package fabric

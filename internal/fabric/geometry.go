@@ -1,0 +1,163 @@
+package fabric
+
+import "fmt"
+
+// Architectural constants of the modelled device family. These mirror the
+// Virtex organisation where it matters to the relocation procedure (four
+// logic cells per CLB, frame-per-column configuration) and use simplified
+// but fixed wire counts elsewhere.
+const (
+	// CellsPerCLB is the number of independent logic cells in one CLB.
+	// The paper: "each CLB comprises four of these cells; for the purpose
+	// of implementing this procedure, each CLB cell can be considered
+	// individually".
+	CellsPerCLB = 4
+
+	// LUTInputs is the number of inputs of each cell's look-up table.
+	LUTInputs = 4
+
+	// SinglesPerDir is the number of single-length wires a tile drives in
+	// each of the four directions.
+	SinglesPerDir = 12
+
+	// HexesPerDir is the number of hex-length (six tiles) wires a tile
+	// drives in each direction.
+	HexesPerDir = 4
+
+	// FramesPerCLBColumn is the number of configuration frames in one CLB
+	// column (Virtex value).
+	FramesPerCLBColumn = 48
+
+	// FramesPerIOBColumn is the number of frames in each of the two
+	// vertical IOB columns (Virtex value).
+	FramesPerIOBColumn = 54
+
+	// FramesPerClockColumn is the number of frames in the centre clock
+	// column (Virtex value).
+	FramesPerClockColumn = 8
+
+	// BitsPerTileRow is the number of configuration bits each tile
+	// contributes to one frame of its column. (Synthetic: real Virtex
+	// packs 18; we use 24 to hold the explicit PIP encoding.)
+	BitsPerTileRow = 24
+
+	// TileConfigBits is the total number of configuration bits per tile:
+	// FramesPerCLBColumn * BitsPerTileRow.
+	TileConfigBits = FramesPerCLBColumn * BitsPerTileRow
+)
+
+// Dir is one of the four routing directions.
+type Dir uint8
+
+// Routing directions. North decreases the row index, South increases it;
+// East increases the column index, West decreases it.
+const (
+	North Dir = iota
+	East
+	South
+	West
+)
+
+var dirNames = [4]string{"N", "E", "S", "W"}
+
+func (d Dir) String() string { return dirNames[d] }
+
+// Opposite returns the direction pointing the other way.
+func (d Dir) Opposite() Dir { return d ^ 2 }
+
+// Left returns the direction after a 90° counter-clockwise turn.
+func (d Dir) Left() Dir { return (d + 3) & 3 }
+
+// Right returns the direction after a 90° clockwise turn.
+func (d Dir) Right() Dir { return (d + 1) & 3 }
+
+// DeltaRow reports how the row index changes when moving one tile in
+// direction d.
+func (d Dir) DeltaRow() int {
+	switch d {
+	case North:
+		return -1
+	case South:
+		return 1
+	}
+	return 0
+}
+
+// DeltaCol reports how the column index changes when moving one tile in
+// direction d.
+func (d Dir) DeltaCol() int {
+	switch d {
+	case East:
+		return 1
+	case West:
+		return -1
+	}
+	return 0
+}
+
+// Coord addresses one CLB tile on the array. Row 0 is the top row, column 0
+// the leftmost CLB column.
+type Coord struct {
+	Row, Col int
+}
+
+func (c Coord) String() string { return fmt.Sprintf("R%dC%d", c.Row, c.Col) }
+
+// Step returns the coordinate n tiles away in direction d.
+func (c Coord) Step(d Dir, n int) Coord {
+	return Coord{Row: c.Row + n*d.DeltaRow(), Col: c.Col + n*d.DeltaCol()}
+}
+
+// ManhattanDist returns the Manhattan distance between two coordinates.
+func (c Coord) ManhattanDist(o Coord) int {
+	return abs(c.Row-o.Row) + abs(c.Col-o.Col)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Rect is a rectangular CLB region: H rows by W columns with the top-left
+// corner at (Row, Col).
+type Rect struct {
+	Row, Col, H, W int
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%dx%d@R%dC%d]", r.H, r.W, r.Row, r.Col)
+}
+
+// Area returns the number of CLBs covered.
+func (r Rect) Area() int { return r.H * r.W }
+
+// Contains reports whether a coordinate lies inside the rectangle.
+func (r Rect) Contains(c Coord) bool {
+	return c.Row >= r.Row && c.Row < r.Row+r.H && c.Col >= r.Col && c.Col < r.Col+r.W
+}
+
+// Overlaps reports whether two rectangles share any CLB.
+func (r Rect) Overlaps(o Rect) bool {
+	return r.Row < o.Row+o.H && o.Row < r.Row+r.H && r.Col < o.Col+o.W && o.Col < r.Col+r.W
+}
+
+// Coords enumerates the covered coordinates row-major.
+func (r Rect) Coords() []Coord {
+	out := make([]Coord, 0, r.Area())
+	for row := r.Row; row < r.Row+r.H; row++ {
+		for col := r.Col; col < r.Col+r.W; col++ {
+			out = append(out, Coord{Row: row, Col: col})
+		}
+	}
+	return out
+}
+
+// CellRef addresses one logic cell inside a CLB.
+type CellRef struct {
+	Coord
+	Cell int // 0..CellsPerCLB-1
+}
+
+func (c CellRef) String() string { return fmt.Sprintf("%s.S%d", c.Coord, c.Cell) }

@@ -1,0 +1,207 @@
+package fabric
+
+import "fmt"
+
+// PIPMask returns the enabled-source bitmask of a sink. Bit b corresponds to
+// SinkSources(sinkLocal)[b]. More than one bit may be set: the fabric then
+// shorts several drivers onto the sink, which is exactly how the relocation
+// procedure "places signals in parallel".
+func (d *Device) PIPMask(c Coord, sinkLocal int) uint16 {
+	if !IsLocalSink(sinkLocal) {
+		return 0
+	}
+	return uint16(d.GetTileField(c, d.pipOffset[sinkLocal], d.pipWidth[sinkLocal]))
+}
+
+// SetPIPMask overwrites the enabled-source bitmask of a sink
+// (designer-level path).
+func (d *Device) SetPIPMask(c Coord, sinkLocal int, mask uint16) {
+	if !IsLocalSink(sinkLocal) {
+		panic(fmt.Sprintf("fabric: local %d is not a sink", sinkLocal))
+	}
+	d.SetTileField(c, d.pipOffset[sinkLocal], d.pipWidth[sinkLocal], uint32(mask))
+}
+
+// PIPSlotRange returns the tile slot range [start, start+width) that holds a
+// sink's PIP mask; bitstream-level code uses it to compute frame edits.
+func (d *Device) PIPSlotRange(sinkLocal int) (start, width int) {
+	return d.pipOffset[sinkLocal], d.pipWidth[sinkLocal]
+}
+
+// CellSlotRange returns the tile slot range of a cell's configuration.
+func (d *Device) CellSlotRange(cell int) (start, width int) {
+	return cellSlot(cell), cellConfigBits
+}
+
+// BitAddr maps a tile configuration slot to its frame location.
+func (d *Device) BitAddr(c Coord, slot int) (major, minor, bit int) {
+	return d.tileBitAddr(c, slot)
+}
+
+// resolveSource turns a template SourceRef of a sink at tile c into a
+// device-wide NodeID, applying the border rule: an out-of-array single wire
+// pointing back into the array is an IOB pad input. Returns InvalidNode for
+// unconnectable template slots (e.g. hex wires beyond the border).
+func (d *Device) resolveSource(c Coord, ref SourceRef) NodeID {
+	st := Coord{Row: c.Row + ref.DRow, Col: c.Col + ref.DCol}
+	if d.InBounds(st) {
+		return d.NodeIDAt(st, ref.Local)
+	}
+	kind, dir, idx := DecodeLocal(ref.Local)
+	if kind != KindSingle {
+		return InvalidNode
+	}
+	if !d.InBounds(st.Step(dir, 1)) {
+		return InvalidNode // does not point back into the array
+	}
+	pad, ok := d.padAtEdge(st, idx%PadsPerEdgeTile)
+	if !ok {
+		return InvalidNode
+	}
+	return d.PadNodeID(pad)
+}
+
+// padAtEdge maps an out-of-bounds tile one step beyond the array to the pad
+// position there.
+func (d *Device) padAtEdge(st Coord, k int) (PadRef, bool) {
+	switch {
+	case st.Row == -1 && st.Col >= 0 && st.Col < d.Cols:
+		return PadRef{Side: North, Pos: st.Col, K: k}, true
+	case st.Row == d.Rows && st.Col >= 0 && st.Col < d.Cols:
+		return PadRef{Side: South, Pos: st.Col, K: k}, true
+	case st.Col == -1 && st.Row >= 0 && st.Row < d.Rows:
+		return PadRef{Side: West, Pos: st.Row, K: k}, true
+	case st.Col == d.Cols && st.Row >= 0 && st.Row < d.Rows:
+		return PadRef{Side: East, Pos: st.Row, K: k}, true
+	}
+	return PadRef{}, false
+}
+
+// SinkSourceNodes resolves the full PIP source list of a sink to device-wide
+// NodeIDs; unconnectable slots are InvalidNode. Index b matches mask bit b.
+func (d *Device) SinkSourceNodes(c Coord, sinkLocal int) []NodeID {
+	refs := SinkSources(sinkLocal)
+	out := make([]NodeID, len(refs))
+	for i, ref := range refs {
+		out[i] = d.resolveSource(c, ref)
+	}
+	return out
+}
+
+// EnabledSourceNodes returns the drivers currently connected to a sink.
+func (d *Device) EnabledSourceNodes(c Coord, sinkLocal int) []NodeID {
+	mask := d.PIPMask(c, sinkLocal)
+	if mask == 0 {
+		return nil
+	}
+	refs := SinkSources(sinkLocal)
+	var out []NodeID
+	for b := range refs {
+		if mask>>b&1 == 1 {
+			if n := d.resolveSource(c, refs[b]); n != InvalidNode {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// PIPBitFor finds the mask bit of a sink that selects the given source node.
+func (d *Device) PIPBitFor(c Coord, sinkLocal int, source NodeID) (int, bool) {
+	refs := SinkSources(sinkLocal)
+	for b, ref := range refs {
+		if d.resolveSource(c, ref) == source {
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// fanoutTemplate[L] lists, for a source with local id L, the sinks that can
+// select it: the sink tile is at relative offset (DRow, DCol) from the
+// source tile.
+type fanoutRef struct {
+	DRow, DCol int
+	SinkLocal  int
+	Bit        int
+}
+
+var fanoutTemplate [localNodeCount][]fanoutRef
+
+func init() {
+	for s := 0; s < sinkCount; s++ {
+		for b, ref := range sinkSources[s] {
+			fanoutTemplate[ref.Local] = append(fanoutTemplate[ref.Local], fanoutRef{
+				DRow: -ref.DRow, DCol: -ref.DCol, SinkLocal: s, Bit: b,
+			})
+		}
+	}
+}
+
+// PIPEdge is one programmable connection from a source node to a sink node.
+type PIPEdge struct {
+	SinkTile  Coord
+	SinkLocal int
+	Bit       int // mask bit in the sink's PIP mask
+	Sink      NodeID
+}
+
+// FanoutOf enumerates every PIP whose source is the given node: where a
+// signal on this node can go next. Pad nodes fan out into the border tile's
+// inward single wires; other nodes use the reverse sink templates.
+func (d *Device) FanoutOf(n NodeID) []PIPEdge {
+	if n >= d.PadBase() {
+		pad, ok := d.PadOfNode(n)
+		if !ok {
+			return nil
+		}
+		return d.padFanout(pad)
+	}
+	c, local, _ := d.SplitNode(n)
+	var out []PIPEdge
+	for _, fr := range fanoutTemplate[local] {
+		st := Coord{Row: c.Row + fr.DRow, Col: c.Col + fr.DCol}
+		if !d.InBounds(st) {
+			continue
+		}
+		out = append(out, PIPEdge{
+			SinkTile:  st,
+			SinkLocal: fr.SinkLocal,
+			Bit:       fr.Bit,
+			Sink:      d.NodeIDAt(st, fr.SinkLocal),
+		})
+	}
+	return out
+}
+
+// padFanout lists the border-tile sinks a pad input can drive.
+func (d *Device) padFanout(pad PadRef) []PIPEdge {
+	tile, inward := d.padBorderTile(pad)
+	padNode := d.PadNodeID(pad)
+	var out []PIPEdge
+	for i := 0; i < SinglesPerDir; i++ {
+		if i%PadsPerEdgeTile != pad.K {
+			continue
+		}
+		sink := LocalSingle(inward, i)
+		if bit, ok := d.PIPBitFor(tile, sink, padNode); ok {
+			out = append(out, PIPEdge{SinkTile: tile, SinkLocal: sink, Bit: bit, Sink: d.NodeIDAt(tile, sink)})
+		}
+	}
+	return out
+}
+
+// padBorderTile returns the array tile adjacent to a pad and the direction
+// pointing from the pad into the array.
+func (d *Device) padBorderTile(pad PadRef) (Coord, Dir) {
+	switch pad.Side {
+	case North:
+		return Coord{Row: 0, Col: pad.Pos}, South
+	case South:
+		return Coord{Row: d.Rows - 1, Col: pad.Pos}, North
+	case West:
+		return Coord{Row: pad.Pos, Col: 0}, East
+	default:
+		return Coord{Row: pad.Pos, Col: d.Cols - 1}, West
+	}
+}

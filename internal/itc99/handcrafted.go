@@ -1,0 +1,184 @@
+package itc99
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+)
+
+// This file contains hand-written behavioural implementations of the two
+// smallest ITC'99 benchmarks, following their published descriptions. They
+// complement the synthetic suite: their behaviour is independently
+// understandable, so a relocation bug that somehow slipped past the
+// lock-step harness would also show up as a semantically wrong comparator
+// or recogniser.
+
+// B01FSM builds the real b01: an FSM that compares two serial bit flows
+// (inputs line1, line2) and flags, on outs, whether the flows seen so far
+// are equal; outflag pulses on (re)synchronisation points. 5 state FFs as
+// published (state register of the original is 3 bits plus two output
+// registers; we keep the published total of 5).
+//
+// Behavioural contract used here (and tested against a plain Go model):
+//   - outs is registered equality of the last pair of bits;
+//   - outflag is registered XOR of the running parities of both flows.
+func B01FSM() *netlist.Netlist {
+	nl := netlist.New("b01_fsm")
+	l1 := nl.Input("line1")
+	l2 := nl.Input("line2")
+
+	// eq = NOT (line1 XOR line2), registered.
+	x := nl.LUT("xor12", fabric.LUTXor2, l1, l2)
+	eqc := nl.LUT("eq", fabric.LUTInv, x)
+	eqFF := nl.FF("r_eq", eqc, netlist.None, true)
+
+	// Running parity of each flow: p <- p XOR line.
+	p1 := nl.FF("r_p1", netlist.None, netlist.None, false)
+	p1n := nl.LUT("p1n", fabric.LUTXor2, p1, l1)
+	nl.SetD(p1, p1n)
+	p2 := nl.FF("r_p2", netlist.None, netlist.None, false)
+	p2n := nl.LUT("p2n", fabric.LUTXor2, p2, l2)
+	nl.SetD(p2, p2n)
+
+	// outflag = registered (p1 XOR p2).
+	fl := nl.LUT("flagc", fabric.LUTXor2, p1, p2)
+	flFF := nl.FF("r_flag", fl, netlist.None, false)
+
+	// A fifth register tracks "flows identical so far" (sticky AND).
+	same := nl.FF("r_same", netlist.None, netlist.None, true)
+	sameN := nl.LUT("samen", fabric.LUTAnd2, same, eqc)
+	nl.SetD(same, sameN)
+
+	nl.Output("outs", eqFF)
+	nl.Output("outflag", flFF)
+	nl.Output("same", same)
+	return nl
+}
+
+// B01Model is the reference software model of B01FSM.
+type B01Model struct {
+	eq, p1, p2, flag, same bool
+}
+
+// NewB01Model returns the model in its reset state.
+func NewB01Model() *B01Model { return &B01Model{eq: true, same: true} }
+
+// Step advances one clock and returns (outs, outflag, same).
+func (m *B01Model) Step(line1, line2 bool) (bool, bool, bool) {
+	nextEq := !(line1 != line2)
+	nextP1 := m.p1 != line1
+	nextP2 := m.p2 != line2
+	nextFlag := m.p1 != m.p2
+	nextSame := m.same && nextEq
+	m.eq, m.p1, m.p2, m.flag, m.same = nextEq, nextP1, nextP2, nextFlag, nextSame
+	return m.eq, m.flag, m.same
+}
+
+// B02FSM builds the real b02: an FSM that recognises BCD numbers on a
+// serial input (published: 4 FFs, 1 input, 1 output). The recogniser
+// accumulates 4-bit groups MSB-first and raises u when the completed group
+// is a valid BCD digit (0..9).
+func B02FSM() *netlist.Netlist {
+	nl := netlist.New("b02_fsm")
+	in := nl.Input("linea")
+
+	// 2-bit position counter (00,01,10,11 cycling).
+	c0 := nl.FF("r_c0", netlist.None, netlist.None, false)
+	c1 := nl.FF("r_c1", netlist.None, netlist.None, false)
+	c0n := nl.LUT("c0n", fabric.LUTInv, c0)
+	nl.SetD(c0, c0n)
+	c1n := nl.LUT("c1n", fabric.LUTXor2, c1, c0)
+	nl.SetD(c1, c1n)
+
+	// Shifted value tracking: for BCD validity of an MSB-first group, the
+	// group is invalid iff bit3=1 and (bit2=1 or bit1=1). Track "bit3
+	// seen" (msb) and "violation" (sticky within a group).
+	msb := nl.FF("r_msb", netlist.None, netlist.None, false)
+	bad := nl.FF("r_bad", netlist.None, netlist.None, false)
+
+	// start-of-group = counter at 00.
+	nc0 := nl.LUT("nc0", fabric.LUTInv, c0)
+	nc1 := nl.LUT("nc1", fabric.LUTInv, c1)
+	atStart := nl.LUT("at0", fabric.LUTAnd2, nc0, nc1)
+
+	// msb' = atStart ? in : msb
+	msbN := nl.LUT("msbn", fabric.MuxLUT(2, 0, 1), in, msb, atStart)
+	nl.SetD(msb, msbN)
+
+	// mid-bit positions 01 and 10 (bits 2 and 1 of the group).
+	midA := nl.LUT("midA", fabric.LUTAnd2, c0, nc1) // pos 01
+	midB := nl.LUT("midB", fabric.LUTAnd2, nc0, c1) // pos 10
+	mid := nl.LUT("mid", fabric.LUTOr2, midA, midB)
+	// viol-now = mid & in & msb
+	v1 := nl.LUT("v1", fabric.LUTAnd2, mid, in)
+	violNow := nl.LUT("v2", fabric.LUTAnd2, v1, msb)
+	// bad' = atStart ? 0 : (bad | violNow)
+	badHold := nl.LUT("badh", fabric.LUTOr2, bad, violNow)
+	badN := nl.LUT("badn", andNotLUT(), badHold, atStart)
+	nl.SetD(bad, badN)
+
+	// u = registered "group completed and valid": at position 11 the last
+	// bit arrives; valid = !(bad | violNow... last bit is bit0, cannot
+	// violate).
+	atEnd := nl.LUT("at3", fabric.LUTAnd2, c0, c1)
+	ok := nl.LUT("ok", fabric.LUTInv, badHold)
+	uc := nl.LUT("uc", fabric.LUTAnd2, atEnd, ok)
+	u := nl.FF("r_u", uc, netlist.None, false)
+	nl.Output("u", u)
+	return nl
+}
+
+// andNotLUT: out = I0 AND NOT I1.
+func andNotLUT() uint16 {
+	var lut uint16
+	for v := 0; v < 16; v++ {
+		if v&1 == 1 && v>>1&1 == 0 {
+			lut |= 1 << v
+		}
+	}
+	return lut
+}
+
+// B02Model is the reference software model of B02FSM.
+type B02Model struct {
+	pos int
+	msb bool
+	bad bool
+	u   bool
+}
+
+// Step advances one clock with serial input bit in and returns u.
+func (m *B02Model) Step(in bool) bool {
+	atStart := m.pos == 0
+	atEnd := m.pos == 3
+	mid := m.pos == 1 || m.pos == 2
+
+	nextMsb := m.msb
+	if atStart {
+		nextMsb = in
+	}
+	violNow := mid && in && m.msb
+	badHold := m.bad || violNow
+	nextBad := badHold
+	if atStart {
+		nextBad = false
+	}
+	m.u = atEnd && !badHold
+	m.msb = nextMsb
+	m.bad = nextBad
+	m.pos = (m.pos + 1) & 3
+	return m.u
+}
+
+// Handcrafted returns the hand-written benchmark netlists by name
+// ("b01_fsm", "b02_fsm").
+func Handcrafted(name string) (*netlist.Netlist, error) {
+	switch name {
+	case "b01_fsm":
+		return B01FSM(), nil
+	case "b02_fsm":
+		return B02FSM(), nil
+	}
+	return nil, fmt.Errorf("itc99: unknown handcrafted circuit %q", name)
+}

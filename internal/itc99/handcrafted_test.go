@@ -1,0 +1,104 @@
+package itc99
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestB01FSMMatchesModel(t *testing.T) {
+	nl := B01FSM()
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewB01Model()
+	r := newRng(77)
+	for cycle := 0; cycle < 300; cycle++ {
+		l1, l2 := r.bool(), r.bool()
+		out, err := sim.Step([]bool{l1, l2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, flag, same := model.Step(l1, l2)
+		if out[0] != outs || out[1] != flag || out[2] != same {
+			t.Fatalf("cycle %d: netlist (%v,%v,%v) model (%v,%v,%v)",
+				cycle, out[0], out[1], out[2], outs, flag, same)
+		}
+	}
+}
+
+func TestB01SameIsSticky(t *testing.T) {
+	nl := B01FSM()
+	sim, _ := netlist.NewSim(nl)
+	// Identical flows: same stays high.
+	for i := 0; i < 10; i++ {
+		out, _ := sim.Step([]bool{i%2 == 0, i%2 == 0})
+		if !out[2] {
+			t.Fatal("same dropped on identical flows")
+		}
+	}
+	// One mismatch: same drops and never recovers.
+	sim.Step([]bool{true, false})
+	for i := 0; i < 10; i++ {
+		out, _ := sim.Step([]bool{true, true})
+		if out[2] {
+			t.Fatal("same recovered after mismatch — must be sticky")
+		}
+	}
+}
+
+func TestB02FSMMatchesModel(t *testing.T) {
+	nl := B02FSM()
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := netlist.NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var model B02Model
+	r := newRng(123)
+	for cycle := 0; cycle < 400; cycle++ {
+		in := r.bool()
+		out, err := sim.Step([]bool{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Step(in)
+		if out[0] != want {
+			t.Fatalf("cycle %d: u=%v model=%v", cycle, out[0], want)
+		}
+	}
+}
+
+func TestB02RecognisesBCD(t *testing.T) {
+	// Feed known 4-bit groups MSB-first; u must pulse exactly for 0..9.
+	for v := 0; v < 16; v++ {
+		nl := B02FSM()
+		sim, _ := netlist.NewSim(nl)
+		var last []bool
+		for bit := 3; bit >= 0; bit-- {
+			last, _ = sim.Step([]bool{v>>bit&1 == 1})
+		}
+		wantValid := v <= 9
+		if last[0] != wantValid {
+			t.Errorf("group %04b: u=%v, want %v", v, last[0], wantValid)
+		}
+	}
+}
+
+func TestHandcraftedLookup(t *testing.T) {
+	for _, name := range []string{"b01_fsm", "b02_fsm"} {
+		nl, err := Handcrafted(name)
+		if err != nil || nl == nil {
+			t.Fatalf("Handcrafted(%s): %v", name, err)
+		}
+	}
+	if _, err := Handcrafted("nope"); err == nil {
+		t.Error("unknown handcrafted name accepted")
+	}
+}

@@ -1,0 +1,316 @@
+// Package itc99 provides behavioural re-implementations of the ITC'99
+// benchmark suite (Politecnico di Torino) used in the paper's relocation
+// experiments, plus a parametric generator of sequential circuits of the
+// same character. The circuits match the published register counts and the
+// approximate combinational sizes of the originals; they are deterministic
+// (seeded) so that relocation transparency can be golden-checked cycle by
+// cycle.
+package itc99
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// rng is a splitmix64 generator: tiny, stdlib-free and stable forever, so
+// generated benchmarks never change between Go releases.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) bool() bool { return r.next()&1 == 1 }
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// Style selects the sequential design style of a generated circuit — the
+// three implementation cases of the paper's relocation procedure.
+type Style uint8
+
+const (
+	// FreeRunning uses FFs clocked every cycle (no CE).
+	FreeRunning Style = iota
+	// GatedClock uses FFs whose capture is controlled by clock-enable
+	// signals derived from circuit logic.
+	GatedClock
+	// Async uses transparent latches in a two-phase non-overlapping
+	// discipline.
+	Async
+)
+
+var styleNames = [...]string{"free-running", "gated-clock", "async"}
+
+func (s Style) String() string { return styleNames[s] }
+
+// GenConfig parameterises circuit generation.
+type GenConfig struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	FFs     int
+	LUTs    int
+	Seed    uint64
+	Style   Style
+	// CEFraction is the fraction of FFs that are clock-gated (GatedClock
+	// style only); the rest stay free-running, as in real designs.
+	CEFraction float64
+	// RAMs adds 16x1 distributed RAMs (which the relocation engine must
+	// refuse to relocate on-line).
+	RAMs int
+}
+
+// Generate builds a deterministic sequential circuit. The structure is an
+// FSM-like cloud: a combinational LUT network over the primary inputs and
+// state outputs feeds the next-state and output logic.
+func Generate(cfg GenConfig) *netlist.Netlist {
+	r := newRng(cfg.Seed*0x9E3779B97F4A7C15 + 1)
+	nl := netlist.New(cfg.Name)
+
+	ins := make([]netlist.ID, cfg.Inputs)
+	for i := range ins {
+		ins[i] = nl.Input(fmt.Sprintf("in%d", i))
+	}
+
+	// State elements first (they feed the cloud); D patched later.
+	states := make([]netlist.ID, cfg.FFs)
+	phase := make([]int, cfg.FFs) // latch phase for Async style
+	var phi [2]netlist.ID
+	if cfg.Style == Async {
+		// Two-phase gates come in as dedicated inputs; drivers must keep
+		// them non-overlapping.
+		phi[0] = nl.Input("phi1")
+		phi[1] = nl.Input("phi2")
+	}
+	for i := range states {
+		init := r.bool()
+		switch cfg.Style {
+		case Async:
+			phase[i] = i % 2
+			states[i] = nl.Latch(fmt.Sprintf("l%d", i), netlist.None, phi[phase[i]], init)
+		default:
+			states[i] = nl.FF(fmt.Sprintf("r%d", i), netlist.None, netlist.None, init)
+		}
+	}
+
+	// sourcesFor returns the pool a LUT may read: inputs plus state
+	// elements (for Async, only the opposite phase, preserving the
+	// two-phase discipline), plus already-built cloud LUTs of the same
+	// group.
+	cloud := make([][]netlist.ID, 2)
+	sourcesFor := func(group int) []netlist.ID {
+		pool := append([]netlist.ID{}, ins...)
+		for i, s := range states {
+			if cfg.Style == Async && phase[i] == group {
+				continue // a phase-g latch's logic reads the other phase
+			}
+			pool = append(pool, s)
+		}
+		pool = append(pool, cloud[group]...)
+		return pool
+	}
+
+	nGroups := 1
+	if cfg.Style == Async {
+		nGroups = 2
+	}
+	for g := 0; g < nGroups; g++ {
+		n := cfg.LUTs / nGroups
+		if g == 0 {
+			n += cfg.LUTs % nGroups
+		}
+		for i := 0; i < n; i++ {
+			pool := sourcesFor(g)
+			k := 2 + r.intn(3) // 2..4 inputs
+			if k > len(pool) {
+				k = len(pool)
+			}
+			lutIns := pickDistinct(r, pool, k)
+			lut := nonTrivialLUT(r, k)
+			id := nl.LUT(fmt.Sprintf("g%d_%d", g, i), lut, lutIns...)
+			cloud[g] = append(cloud[g], id)
+		}
+	}
+
+	// Clock-enable network for the gated style: a handful of CE signals
+	// computed by the cloud drive groups of FFs.
+	var ces []netlist.ID
+	if cfg.Style == GatedClock {
+		nCE := 1 + cfg.FFs/8
+		for i := 0; i < nCE; i++ {
+			ces = append(ces, cloud[0][r.intn(len(cloud[0]))])
+		}
+	}
+
+	// Patch state-element D inputs from the cloud.
+	for i, s := range states {
+		g := 0
+		if cfg.Style == Async {
+			// A phase-p latch must be fed by logic that reads only the
+			// OPPOSITE phase's latches (classic two-phase pipeline), so
+			// that no combinational loop closes while it is transparent.
+			// Cloud group g reads latches of phase 1-g, so pick g = p.
+			g = phase[i]
+		}
+		src := cloud[g][r.intn(len(cloud[g]))]
+		nl.SetD(s, src)
+		if cfg.Style == GatedClock && r.float() < cfg.CEFraction {
+			nl.SetCE(s, ces[i%len(ces)])
+		}
+	}
+
+	// Distributed RAMs.
+	for i := 0; i < cfg.RAMs; i++ {
+		pool := sourcesFor(0)
+		var addr [4]netlist.ID
+		for a := range addr {
+			addr[a] = pool[r.intn(len(pool))]
+		}
+		d := pool[r.intn(len(pool))]
+		we := pool[r.intn(len(pool))]
+		ram := nl.RAM(fmt.Sprintf("m%d", i), addr, d, we)
+		cloud[0] = append(cloud[0], ram)
+	}
+
+	// Primary outputs from the cloud/state.
+	pool := append(append([]netlist.ID{}, cloud[0]...), states...)
+	for i := 0; i < cfg.Outputs; i++ {
+		nl.Output(fmt.Sprintf("out%d", i), pool[r.intn(len(pool))])
+	}
+	if err := nl.Validate(); err != nil {
+		panic(fmt.Sprintf("itc99: generated circuit invalid: %v", err))
+	}
+	return nl
+}
+
+func pickDistinct(r *rng, pool []netlist.ID, k int) []netlist.ID {
+	idx := map[int]bool{}
+	out := make([]netlist.ID, 0, k)
+	for len(out) < k {
+		i := r.intn(len(pool))
+		if idx[i] {
+			continue
+		}
+		idx[i] = true
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+// nonTrivialLUT returns a truth table that depends on every one of its k
+// inputs (no stuck-at or input-independent tables), so that relocation bugs
+// cannot hide behind dead logic.
+func nonTrivialLUT(r *rng, k int) uint16 {
+	mask := uint16(1)<<(1<<k) - 1
+	for {
+		lut := uint16(r.next()) & mask
+		if lut == 0 || lut == mask {
+			continue
+		}
+		dependsOnAll := true
+		for in := 0; in < k; in++ {
+			depends := false
+			for v := 0; v < 1<<k; v++ {
+				if lut>>(v&0xF)&1 != lut>>((v^(1<<in))&0xF)&1 {
+					depends = true
+					break
+				}
+			}
+			if !depends {
+				dependsOnAll = false
+				break
+			}
+		}
+		if dependsOnAll {
+			return lut
+		}
+	}
+}
+
+// Spec records the published profile of one ITC'99 benchmark and the
+// parameters of our behavioural equivalent.
+type Spec struct {
+	Name    string
+	Desc    string
+	Inputs  int
+	Outputs int
+	FFs     int // published register count
+	Gates   int // published gate count (originals)
+	LUTs    int // our 4-LUT equivalent (~gates/3)
+	Style   Style
+}
+
+// Suite is the benchmark table: published I/O and FF counts of b01–b14,
+// with combinational size scaled from gates to 4-input LUTs.
+var Suite = []Spec{
+	{Name: "b01", Desc: "FSM comparing serial flows", Inputs: 2, Outputs: 2, FFs: 5, Gates: 45, LUTs: 15, Style: FreeRunning},
+	{Name: "b02", Desc: "FSM recognising BCD numbers", Inputs: 1, Outputs: 1, FFs: 4, Gates: 28, LUTs: 9, Style: FreeRunning},
+	{Name: "b03", Desc: "Resource arbiter", Inputs: 4, Outputs: 4, FFs: 30, Gates: 160, LUTs: 53, Style: GatedClock},
+	{Name: "b04", Desc: "Min/max computation", Inputs: 11, Outputs: 8, FFs: 66, Gates: 737, LUTs: 245, Style: GatedClock},
+	{Name: "b05", Desc: "Memory-contents elaborator", Inputs: 1, Outputs: 36, FFs: 34, Gates: 998, LUTs: 332, Style: FreeRunning},
+	{Name: "b06", Desc: "Interrupt handler", Inputs: 2, Outputs: 6, FFs: 9, Gates: 56, LUTs: 18, Style: FreeRunning},
+	{Name: "b07", Desc: "Count points on a line", Inputs: 1, Outputs: 8, FFs: 49, Gates: 441, LUTs: 147, Style: GatedClock},
+	{Name: "b08", Desc: "Find inclusions in sequences", Inputs: 9, Outputs: 4, FFs: 21, Gates: 183, LUTs: 61, Style: FreeRunning},
+	{Name: "b09", Desc: "Serial-to-serial converter", Inputs: 1, Outputs: 1, FFs: 28, Gates: 170, LUTs: 56, Style: FreeRunning},
+	{Name: "b10", Desc: "Voting system", Inputs: 11, Outputs: 6, FFs: 17, Gates: 206, LUTs: 68, Style: GatedClock},
+	{Name: "b11", Desc: "Scramble string with shift", Inputs: 7, Outputs: 6, FFs: 31, Gates: 579, LUTs: 193, Style: GatedClock},
+	{Name: "b12", Desc: "1-player game (guess sequence)", Inputs: 5, Outputs: 6, FFs: 121, Gates: 1076, LUTs: 358, Style: GatedClock},
+	{Name: "b13", Desc: "Weather-station interface", Inputs: 10, Outputs: 10, FFs: 53, Gates: 362, LUTs: 120, Style: GatedClock},
+	{Name: "b14", Desc: "Viper processor subset", Inputs: 32, Outputs: 54, FFs: 245, Gates: 10098, LUTs: 3366, Style: GatedClock},
+}
+
+// Get generates the named benchmark.
+func Get(name string) (*netlist.Netlist, error) {
+	for i, s := range Suite {
+		if s.Name == name {
+			return Generate(GenConfig{
+				Name:       s.Name,
+				Inputs:     s.Inputs,
+				Outputs:    s.Outputs,
+				FFs:        s.FFs,
+				LUTs:       s.LUTs,
+				Seed:       uint64(i + 1),
+				Style:      s.Style,
+				CEFraction: 0.75,
+			}), nil
+		}
+	}
+	return nil, fmt.Errorf("itc99: unknown benchmark %q", name)
+}
+
+// Names lists the available benchmarks in suite order.
+func Names() []string {
+	out := make([]string, len(Suite))
+	for i, s := range Suite {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SpecOf returns the spec of a named benchmark.
+func SpecOf(name string) (Spec, bool) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// SortedByFFs returns suite specs ordered by register count (small first),
+// convenient for tests that scale work to circuit size.
+func SortedByFFs() []Spec {
+	out := append([]Spec{}, Suite...)
+	sort.Slice(out, func(i, j int) bool { return out[i].FFs < out[j].FFs })
+	return out
+}

@@ -1,0 +1,226 @@
+package itc99
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestSuiteGeneratesValidCircuits(t *testing.T) {
+	for _, name := range Names() {
+		if name == "b14" && testing.Short() {
+			continue
+		}
+		nl, err := Get(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", name, err)
+		}
+		spec, _ := SpecOf(name)
+		st := nl.Stats()
+		if st.FFs+st.Latches != spec.FFs {
+			t.Errorf("%s: %d state elements, spec says %d", name, st.FFs+st.Latches, spec.FFs)
+		}
+		if st.Inputs < spec.Inputs { // async adds phase inputs
+			t.Errorf("%s: %d inputs < spec %d", name, st.Inputs, spec.Inputs)
+		}
+		if st.Outputs != spec.Outputs {
+			t.Errorf("%s: %d outputs, spec %d", name, st.Outputs, spec.Outputs)
+		}
+		if st.LUTs != spec.LUTs {
+			t.Errorf("%s: %d LUTs, spec %d", name, st.LUTs, spec.LUTs)
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	a, _ := Get("b03")
+	b, _ := Get("b03")
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ between generations")
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.Kind != nb.Kind || na.LUT != nb.LUT || na.D != nb.D || na.CE != nb.CE {
+			t.Fatalf("node %d differs between generations", i)
+		}
+	}
+	// And the behaviour is identical.
+	sa, _ := netlist.NewSim(a)
+	sb, _ := netlist.NewSim(b)
+	r := newRng(7)
+	nin := len(a.Inputs())
+	for cycle := 0; cycle < 50; cycle++ {
+		in := make([]bool, nin)
+		for i := range in {
+			in[i] = r.bool()
+		}
+		oa, err := sa.Step(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, _ := sb.Step(in)
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("cycle %d output %d differs", cycle, i)
+			}
+		}
+	}
+}
+
+func TestCircuitsAreAlive(t *testing.T) {
+	// A benchmark whose outputs never change exercises nothing; every
+	// circuit must show output activity under random stimulus.
+	for _, name := range []string{"b01", "b02", "b03", "b06", "b08", "b09"} {
+		nl, _ := Get(name)
+		sim, err := netlist.NewSim(nl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := newRng(42)
+		nin := len(nl.Inputs())
+		changed := false
+		var prev []bool
+		for cycle := 0; cycle < 200 && !changed; cycle++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = r.bool()
+			}
+			out, err := sim.Step(in)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if prev != nil {
+				for i := range out {
+					if out[i] != prev[i] {
+						changed = true
+					}
+				}
+			}
+			prev = out
+		}
+		if !changed {
+			t.Errorf("%s: outputs never changed in 200 cycles", name)
+		}
+	}
+}
+
+func TestGatedClockStyleHasCEs(t *testing.T) {
+	nl, _ := Get("b03")
+	ce := 0
+	for _, nd := range nl.Nodes {
+		if nd.Kind == netlist.KindFF && nd.CE != netlist.None {
+			ce++
+		}
+	}
+	if ce == 0 {
+		t.Error("gated-clock benchmark has no clock-gated FFs")
+	}
+	free := 0
+	for _, nd := range nl.Nodes {
+		if nd.Kind == netlist.KindFF && nd.CE == netlist.None {
+			free++
+		}
+	}
+	if free == 0 {
+		t.Error("gated-clock benchmark should retain some free-running FFs")
+	}
+}
+
+func TestAsyncStyleTwoPhase(t *testing.T) {
+	nl := Generate(GenConfig{
+		Name: "async1", Inputs: 3, Outputs: 2, FFs: 8, LUTs: 24,
+		Seed: 5, Style: Async,
+	})
+	st := nl.Stats()
+	if st.Latches != 8 || st.FFs != 0 {
+		t.Fatalf("async stats: %+v", st)
+	}
+	sim, err := netlist.NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive non-overlapping phases: the circuit must settle on every phase
+	// (no oscillation) and show activity.
+	r := newRng(9)
+	phi1, _ := nl.ByName("phi1")
+	phi2, _ := nl.ByName("phi2")
+	ins := nl.Inputs()
+	idx1, idx2 := -1, -1
+	for i, id := range ins {
+		if id == phi1 {
+			idx1 = i
+		}
+		if id == phi2 {
+			idx2 = i
+		}
+	}
+	if idx1 < 0 || idx2 < 0 {
+		t.Fatal("phase inputs not found")
+	}
+	for cycle := 0; cycle < 100; cycle++ {
+		in := make([]bool, len(ins))
+		for i := range in {
+			in[i] = r.bool()
+		}
+		in[idx1], in[idx2] = cycle%2 == 0, cycle%2 == 1
+		if err := sim.SetInputs(in); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.Settle(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+func TestRAMGeneration(t *testing.T) {
+	nl := Generate(GenConfig{
+		Name: "withram", Inputs: 4, Outputs: 2, FFs: 6, LUTs: 20,
+		Seed: 3, Style: FreeRunning, RAMs: 2,
+	})
+	if nl.Stats().RAMs != 2 {
+		t.Fatalf("RAMs = %d", nl.Stats().RAMs)
+	}
+	if _, err := netlist.NewSim(nl); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonTrivialLUTDependsOnAllInputs(t *testing.T) {
+	r := newRng(1)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + r.intn(3)
+		lut := nonTrivialLUT(r, k)
+		for in := 0; in < k; in++ {
+			depends := false
+			for v := 0; v < 1<<k; v++ {
+				if lut>>(v&0xF)&1 != lut>>((v^(1<<in))&0xF)&1 {
+					depends = true
+				}
+			}
+			if !depends {
+				t.Fatalf("lut %#x (k=%d) independent of input %d", lut, k, in)
+			}
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("b99"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSortedByFFs(t *testing.T) {
+	specs := SortedByFFs()
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].FFs > specs[i].FFs {
+			t.Fatal("not sorted")
+		}
+	}
+	if len(specs) != len(Suite) {
+		t.Fatal("missing specs")
+	}
+}

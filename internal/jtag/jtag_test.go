@@ -1,0 +1,209 @@
+package jtag
+
+import (
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+)
+
+func TestTAPStateTable(t *testing.T) {
+	// Spot-check canonical IEEE 1149.1 transitions.
+	cases := []struct {
+		from State
+		tms  bool
+		to   State
+	}{
+		{TestLogicReset, true, TestLogicReset},
+		{TestLogicReset, false, RunTestIdle},
+		{RunTestIdle, true, SelectDRScan},
+		{SelectDRScan, false, CaptureDR},
+		{SelectDRScan, true, SelectIRScan},
+		{CaptureDR, false, ShiftDR},
+		{ShiftDR, false, ShiftDR},
+		{ShiftDR, true, Exit1DR},
+		{Exit1DR, true, UpdateDR},
+		{Exit1DR, false, PauseDR},
+		{PauseDR, true, Exit2DR},
+		{Exit2DR, false, ShiftDR},
+		{UpdateDR, false, RunTestIdle},
+		{SelectIRScan, false, CaptureIR},
+		{SelectIRScan, true, TestLogicReset},
+		{ShiftIR, true, Exit1IR},
+		{Exit1IR, true, UpdateIR},
+		{UpdateIR, false, RunTestIdle},
+	}
+	for _, c := range cases {
+		if got := c.from.Next(c.tms); got != c.to {
+			t.Errorf("%v --tms=%v--> %v, want %v", c.from, c.tms, got, c.to)
+		}
+	}
+}
+
+func TestFiveTMSHighAlwaysResets(t *testing.T) {
+	// From any state, five TCKs with TMS high reach Test-Logic-Reset.
+	for s := State(0); s < 16; s++ {
+		cur := s
+		for i := 0; i < 5; i++ {
+			cur = cur.Next(true)
+		}
+		if cur != TestLogicReset {
+			t.Errorf("from %v, 5xTMS=1 ends in %v", s, cur)
+		}
+	}
+}
+
+func newPort(t *testing.T) (*fabric.Device, *Port) {
+	t.Helper()
+	dev := fabric.NewDevice(fabric.TestDevice)
+	ctrl := bitstream.NewController(dev)
+	return dev, NewPort(ctrl, DefaultTCKHz)
+}
+
+func TestLoadIRSetsInstruction(t *testing.T) {
+	_, p := newPort(t)
+	p.LoadIR(InstrCfgIn)
+	if p.Chain.Instr() != InstrCfgIn {
+		t.Errorf("instr = %#x, want CFG_IN", p.Chain.Instr())
+	}
+	if p.Chain.State() != RunTestIdle {
+		t.Errorf("state after LoadIR = %v", p.Chain.State())
+	}
+	p.LoadIR(InstrCfgOut)
+	if p.Chain.Instr() != InstrCfgOut {
+		t.Errorf("instr = %#x, want CFG_OUT", p.Chain.Instr())
+	}
+}
+
+func TestIDCodeReadback(t *testing.T) {
+	_, p := newPort(t)
+	p.LoadIR(InstrIDCode)
+	// IDCODE shifts LSB-first out of a 32-bit register; ShiftDROut
+	// assembles MSB-first, so the word comes back bit-reversed.
+	out := p.ShiftDROut(1)
+	var rev uint32
+	for b := 0; b < 32; b++ {
+		if out[0]>>b&1 == 1 {
+			rev |= 1 << (31 - b)
+		}
+	}
+	if rev != 0x0050C093 {
+		t.Errorf("idcode = %#x, want 0x0050C093", rev)
+	}
+}
+
+func TestConfigWriteThroughBoundaryScan(t *testing.T) {
+	dev, p := newPort(t)
+	fw := dev.FrameWords()
+	data := make([]uint32, fw)
+	data[5] = 0xCAFEF00D
+	addr := fabric.FrameAddr{Major: dev.MajorOfArrayCol(4), Minor: 11}
+	if err := p.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.ReadFrame(addr.Major, addr.Minor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 0xCAFEF00D {
+		t.Errorf("frame word = %#x", got[5])
+	}
+}
+
+func TestReadbackThroughBoundaryScan(t *testing.T) {
+	dev, p := newPort(t)
+	c := fabric.Coord{Row: 3, Col: 2}
+	dev.WriteCell(fabric.CellRef{Coord: c, Cell: 1}, fabric.CellConfig{LUT: 0x5A5A, FF: true})
+	addr := fabric.FrameAddr{Major: dev.MajorOfArrayCol(2), Minor: 0}
+	got, err := p.ReadFrame(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := dev.ReadFrame(addr.Major, addr.Minor)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("readback word %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	dev, p := newPort(t)
+	start := p.Cycles()
+	fw := dev.FrameWords()
+	data := make([]uint32, fw)
+	addr := fabric.FrameAddr{Major: 1, Minor: 0}
+	if err := p.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+	used := p.Cycles() - start
+	// The partial stream is ~2 frames of data plus packet overhead; every
+	// payload bit costs exactly one TCK.
+	words := bitstream.Partial(dev, []bitstream.FrameUpdate{{Addr: addr, Data: data}})
+	minCycles := uint64(32 * len(words))
+	if used < minCycles || used > minCycles+64 {
+		t.Errorf("cycles = %d, want within [%d, %d]", used, minCycles, minCycles+64)
+	}
+	if p.Elapsed() != float64(p.Cycles())/DefaultTCKHz {
+		t.Error("Elapsed inconsistent with cycle count")
+	}
+}
+
+func TestWriteAtTwentyMHzTakesMilliseconds(t *testing.T) {
+	// Sanity-anchor for the paper's headline: shifting one full CLB column
+	// through Boundary-Scan at 20 MHz costs on the order of milliseconds.
+	dev, p := newPort(t)
+	fw := dev.FrameWords()
+	var ups []bitstream.FrameUpdate
+	major := dev.MajorOfArrayCol(0)
+	for m := 0; m < fabric.FramesPerCLBColumn; m++ {
+		ups = append(ups, bitstream.FrameUpdate{
+			Addr: fabric.FrameAddr{Major: major, Minor: m},
+			Data: make([]uint32, fw),
+		})
+	}
+	if err := p.WriteUpdates(ups); err != nil {
+		t.Fatal(err)
+	}
+	ms := p.Elapsed() * 1e3
+	if ms < 0.1 || ms > 50 {
+		t.Errorf("column write = %.3f ms, outside plausible range", ms)
+	}
+}
+
+func TestChainBypass(t *testing.T) {
+	_, p := newPort(t)
+	p.LoadIR(InstrBypass)
+	// Bypass register delays the stream by one bit: shift 8 bits of
+	// pattern, observe it one cycle later.
+	p.step(true, false)
+	p.step(false, false)
+	p.step(false, false) // now in Shift-DR
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var got []bool
+	for i, b := range pattern {
+		got = append(got, p.step(i == len(pattern)-1, b))
+	}
+	for i := 1; i < len(pattern); i++ {
+		if got[i] != pattern[i-1] {
+			t.Errorf("bypass bit %d = %v, want %v", i, got[i], pattern[i-1])
+		}
+	}
+}
+
+func TestUnalignedCfgInReportsError(t *testing.T) {
+	_, p := newPort(t)
+	p.LoadIR(InstrCfgIn)
+	// Shift 33 bits: not word aligned -> chain error on Update-DR.
+	p.step(true, false)
+	p.step(false, false)
+	p.step(false, false)
+	for i := 0; i < 33; i++ {
+		p.step(i == 32, false)
+	}
+	p.step(true, false) // Update-DR
+	p.step(false, false)
+	if p.Chain.Err() == nil {
+		t.Error("unaligned CFG_IN shift not detected")
+	}
+}

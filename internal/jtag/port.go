@@ -1,0 +1,140 @@
+package jtag
+
+import (
+	"fmt"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+)
+
+// Port drives a Chain as a Boundary-Scan configuration port, counting every
+// TCK cycle. It implements bitstream.Port. The paper performed all
+// reconfiguration through this interface at a 20 MHz test clock.
+type Port struct {
+	Chain  *Chain
+	TCKHz  float64
+	cycles uint64
+}
+
+// DefaultTCKHz is the paper's Boundary-Scan test clock frequency.
+const DefaultTCKHz = 20e6
+
+// NewPort attaches a Boundary-Scan port to a configuration controller and
+// resets the TAP.
+func NewPort(ctrl *bitstream.Controller, tckHz float64) *Port {
+	p := &Port{Chain: NewChain(ctrl, 0x0050C093 /* Virtex-family-style idcode */), TCKHz: tckHz}
+	p.ResetTAP()
+	return p
+}
+
+func (p *Port) step(tms, tdi bool) bool {
+	p.cycles++
+	return p.Chain.Step(tms, tdi)
+}
+
+// ResetTAP forces Test-Logic-Reset (five TMS-high cycles) and parks in
+// Run-Test/Idle.
+func (p *Port) ResetTAP() {
+	for i := 0; i < 5; i++ {
+		p.step(true, false)
+	}
+	p.step(false, false)
+}
+
+// LoadIR shifts an instruction into the IR and returns to Run-Test/Idle.
+func (p *Port) LoadIR(code uint8) {
+	p.step(true, false)  // Select-DR
+	p.step(true, false)  // Select-IR
+	p.step(false, false) // Capture-IR
+	p.step(false, false) // Shift-IR (first shift happens in this state)
+	for i := 0; i < IRLength; i++ {
+		last := i == IRLength-1
+		p.step(last, code>>i&1 == 1) // exit on last bit
+	}
+	p.step(true, false)  // Update-IR
+	p.step(false, false) // Run-Test/Idle
+}
+
+// ShiftDRIn shifts words into the current data register MSB-first and
+// returns to Run-Test/Idle.
+func (p *Port) ShiftDRIn(words []uint32) {
+	p.step(true, false)  // Select-DR
+	p.step(false, false) // Capture-DR
+	p.step(false, false) // Shift-DR
+	total := len(words) * 32
+	n := 0
+	for _, w := range words {
+		for b := 31; b >= 0; b-- {
+			n++
+			p.step(n == total, w>>b&1 == 1)
+		}
+	}
+	p.step(true, false)  // Update-DR
+	p.step(false, false) // Run-Test/Idle
+}
+
+// ShiftDROut shifts n words out of the current data register.
+func (p *Port) ShiftDROut(nWords int) []uint32 {
+	p.step(true, false)  // Select-DR
+	p.step(false, false) // Capture-DR
+	p.step(false, false) // Shift-DR
+	out := make([]uint32, nWords)
+	total := nWords * 32
+	n := 0
+	for i := range out {
+		var w uint32
+		for b := 0; b < 32; b++ {
+			n++
+			bit := p.step(n == total, false)
+			w <<= 1
+			if bit {
+				w |= 1
+			}
+		}
+		out[i] = w
+	}
+	p.step(true, false)  // Update-DR
+	p.step(false, false) // Run-Test/Idle
+	return out
+}
+
+// WriteUpdates implements bitstream.Port: the frame updates are packetised
+// into a partial bitstream and shifted through CFG_IN.
+func (p *Port) WriteUpdates(updates []bitstream.FrameUpdate) error {
+	words := bitstream.Partial(p.Chain.ctrl.Device(), updates)
+	p.LoadIR(InstrCfgIn)
+	p.ShiftDRIn(words)
+	if err := p.Chain.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadFrame implements bitstream.Port: a readback request goes in through
+// CFG_IN and the frame comes back through CFG_OUT.
+func (p *Port) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
+	dev := p.Chain.ctrl.Device()
+	req := bitstream.ReadFramesRequest(dev.FrameWords(), bitstream.FAR{Major: addr.Major, Minor: addr.Minor}, 1)
+	p.LoadIR(InstrCfgIn)
+	p.ShiftDRIn(req)
+	p.LoadIR(InstrCfgOut)
+	out := p.ShiftDROut(dev.FrameWords())
+	if err := p.Chain.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) != dev.FrameWords() {
+		return nil, fmt.Errorf("jtag: readback returned %d words", len(out))
+	}
+	return out, nil
+}
+
+// Elapsed implements bitstream.Port.
+func (p *Port) Elapsed() float64 { return float64(p.cycles) / p.TCKHz }
+
+// Name implements bitstream.Port.
+func (p *Port) Name() string { return "Boundary-Scan" }
+
+// Cycles returns the total TCK cycles consumed.
+func (p *Port) Cycles() uint64 { return p.cycles }
+
+var _ bitstream.Port = (*Port)(nil)

@@ -1,0 +1,35 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+)
+
+func BenchmarkGoldenSimB12(b *testing.B) {
+	nl, err := itc99.Get("b12") // 121 FFs, 358 LUTs
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := netlist.NewSim(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := make([]bool, len(nl.Inputs()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in[0] = i&1 == 1
+		if _, err := s.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateB14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := itc99.Get("b14"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

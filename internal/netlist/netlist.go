@@ -1,0 +1,313 @@
+// Package netlist represents technology-mapped sequential circuits: 4-input
+// LUTs, D flip-flops with optional clock enable, transparent latches, and
+// 16x1 distributed RAMs — the design styles whose on-line relocation the
+// paper studies (synchronous free-running, synchronous gated-clock,
+// asynchronous latch-based, and LUT/RAM).
+//
+// The package also provides a golden behavioural simulator used as the
+// reference against which the fabric-mapped circuit is compared cycle by
+// cycle while relocations are in progress.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a netlist node.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindInput Kind = iota
+	KindOutput
+	KindLUT
+	KindFF
+	KindLatch
+	KindConst
+	KindRAM
+)
+
+var kindNames = [...]string{"input", "output", "lut", "ff", "latch", "const", "ram"}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// ID identifies a node within its netlist.
+type ID int32
+
+// None marks an unconnected optional input (e.g. a free-running FF's CE).
+const None ID = -1
+
+// Node is one circuit element.
+type Node struct {
+	Kind Kind
+	Name string
+	// LUT truth table (KindLUT), or constant value in bit 0 (KindConst).
+	LUT uint16
+	// Ins are the LUT data inputs (KindLUT, up to 4), the driven source
+	// (KindOutput), or the RAM address inputs (KindRAM, exactly 4).
+	Ins []ID
+	// D is the data input of FF/latch nodes and the write-data input of
+	// RAM nodes.
+	D ID
+	// CE is the clock enable of FF nodes (None = free-running), the gate
+	// of latch nodes, and the write enable of RAM nodes.
+	CE ID
+	// Init is the initial state of FF/latch nodes.
+	Init bool
+}
+
+// Netlist is a named technology-mapped circuit.
+type Netlist struct {
+	Name   string
+	Nodes  []Node
+	byName map[string]ID
+}
+
+// New creates an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{Name: name, byName: make(map[string]ID)}
+}
+
+func (n *Netlist) add(node Node) ID {
+	if node.Name == "" {
+		node.Name = fmt.Sprintf("%s%d", node.Kind, len(n.Nodes))
+	}
+	if _, dup := n.byName[node.Name]; dup {
+		panic(fmt.Sprintf("netlist: duplicate node name %q", node.Name))
+	}
+	id := ID(len(n.Nodes))
+	n.Nodes = append(n.Nodes, node)
+	n.byName[node.Name] = id
+	return id
+}
+
+// Input adds a primary input.
+func (n *Netlist) Input(name string) ID {
+	return n.add(Node{Kind: KindInput, Name: name})
+}
+
+// Output adds a primary output driven by src.
+func (n *Netlist) Output(name string, src ID) ID {
+	return n.add(Node{Kind: KindOutput, Name: name, Ins: []ID{src}})
+}
+
+// LUT adds a look-up table with the given truth table and inputs (input i of
+// the node is LUT index bit i).
+func (n *Netlist) LUT(name string, lut uint16, ins ...ID) ID {
+	if len(ins) > 4 {
+		panic("netlist: LUT with more than 4 inputs")
+	}
+	cp := make([]ID, len(ins))
+	copy(cp, ins)
+	return n.add(Node{Kind: KindLUT, Name: name, LUT: lut, Ins: cp})
+}
+
+// FF adds a D flip-flop; ce may be None for a free-running clock.
+func (n *Netlist) FF(name string, d, ce ID, init bool) ID {
+	return n.add(Node{Kind: KindFF, Name: name, D: d, CE: ce, Init: init})
+}
+
+// Latch adds a transparent latch with gate g (asynchronous design style).
+func (n *Netlist) Latch(name string, d, g ID, init bool) ID {
+	return n.add(Node{Kind: KindLatch, Name: name, D: d, CE: g, Init: init})
+}
+
+// Const adds a constant driver.
+func (n *Netlist) Const(name string, v bool) ID {
+	var lut uint16
+	if v {
+		lut = 1
+	}
+	return n.add(Node{Kind: KindConst, Name: name, LUT: lut})
+}
+
+// RAM adds a 16x1 distributed RAM with a synchronous write port (we = write
+// enable, d = write data, addr = 4 address bits) and an asynchronous read of
+// the addressed bit.
+func (n *Netlist) RAM(name string, addr [4]ID, d, we ID) ID {
+	return n.add(Node{Kind: KindRAM, Name: name, Ins: addr[:], D: d, CE: we})
+}
+
+// SetD rewires the D input of an FF, latch or RAM node. Feedback circuits
+// are built in two phases: create the state element first, then patch its D
+// once the logic computing it exists.
+func (n *Netlist) SetD(id, d ID) {
+	nd := &n.Nodes[id]
+	if nd.Kind != KindFF && nd.Kind != KindLatch && nd.Kind != KindRAM {
+		panic(fmt.Sprintf("netlist: SetD on %s node %s", nd.Kind, nd.Name))
+	}
+	nd.D = d
+}
+
+// SetCE rewires the CE/gate/write-enable input of a state element.
+func (n *Netlist) SetCE(id, ce ID) {
+	nd := &n.Nodes[id]
+	if nd.Kind != KindFF && nd.Kind != KindLatch && nd.Kind != KindRAM {
+		panic(fmt.Sprintf("netlist: SetCE on %s node %s", nd.Kind, nd.Name))
+	}
+	nd.CE = ce
+}
+
+// ByName looks a node up by name.
+func (n *Netlist) ByName(name string) (ID, bool) {
+	id, ok := n.byName[name]
+	return id, ok
+}
+
+// Inputs returns the primary input ids in declaration order.
+func (n *Netlist) Inputs() []ID { return n.ofKind(KindInput) }
+
+// Outputs returns the primary output ids in declaration order.
+func (n *Netlist) Outputs() []ID { return n.ofKind(KindOutput) }
+
+func (n *Netlist) ofKind(k Kind) []ID {
+	var out []ID
+	for i, node := range n.Nodes {
+		if node.Kind == k {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// Stats summarises the netlist composition.
+type Stats struct {
+	Inputs, Outputs, LUTs, FFs, Latches, Consts, RAMs int
+}
+
+// Stats computes composition counters.
+func (n *Netlist) Stats() Stats {
+	var s Stats
+	for _, node := range n.Nodes {
+		switch node.Kind {
+		case KindInput:
+			s.Inputs++
+		case KindOutput:
+			s.Outputs++
+		case KindLUT:
+			s.LUTs++
+		case KindFF:
+			s.FFs++
+		case KindLatch:
+			s.Latches++
+		case KindConst:
+			s.Consts++
+		case KindRAM:
+			s.RAMs++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("in=%d out=%d lut=%d ff=%d latch=%d const=%d ram=%d",
+		s.Inputs, s.Outputs, s.LUTs, s.FFs, s.Latches, s.Consts, s.RAMs)
+}
+
+// refs lists every node id a node reads combinationally (its fanin through
+// which values must be settled before it can be evaluated).
+func (nd *Node) refs() []ID {
+	var out []ID
+	switch nd.Kind {
+	case KindLUT, KindOutput, KindRAM:
+		out = append(out, nd.Ins...)
+	}
+	if nd.Kind == KindRAM {
+		// read is combinational on address only; D/CE sampled at the edge
+		return out
+	}
+	return out
+}
+
+// allRefs lists every node id referenced at all (validation).
+func (nd *Node) allRefs() []ID {
+	out := append([]ID{}, nd.Ins...)
+	if nd.Kind == KindFF || nd.Kind == KindLatch || nd.Kind == KindRAM {
+		out = append(out, nd.D)
+		if nd.CE != None {
+			out = append(out, nd.CE)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: reference ranges, input
+// counts, and combinational acyclicity (FF and latch outputs break cycles;
+// purely combinational loops are rejected).
+func (n *Netlist) Validate() error {
+	for i, nd := range n.Nodes {
+		for _, r := range nd.allRefs() {
+			if r < 0 || int(r) >= len(n.Nodes) {
+				return fmt.Errorf("netlist %s: node %d (%s) references out-of-range id %d", n.Name, i, nd.Name, r)
+			}
+			if n.Nodes[r].Kind == KindOutput {
+				return fmt.Errorf("netlist %s: node %d (%s) reads from an output node", n.Name, i, nd.Name)
+			}
+		}
+		switch nd.Kind {
+		case KindOutput:
+			if len(nd.Ins) != 1 {
+				return fmt.Errorf("netlist %s: output %s must have exactly one source", n.Name, nd.Name)
+			}
+		case KindRAM:
+			if len(nd.Ins) != 4 {
+				return fmt.Errorf("netlist %s: RAM %s must have 4 address bits", n.Name, nd.Name)
+			}
+		case KindFF, KindLatch:
+			if nd.D == None {
+				return fmt.Errorf("netlist %s: %s %s has no D input", n.Name, nd.Kind, nd.Name)
+			}
+		}
+	}
+	if _, err := n.combOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// combOrder topologically sorts nodes whose value is computed
+// combinationally (LUT, Output, RAM-read). Inputs, constants, FFs and
+// latches are sources for ordering purposes (a latch's combinational
+// transparency is handled by the simulator's settle loop).
+func (n *Netlist) combOrder() ([]ID, error) {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]uint8, len(n.Nodes))
+	var order []ID
+	var visit func(id ID) error
+	visit = func(id ID) error {
+		switch colour[id] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("netlist %s: combinational loop through %s", n.Name, n.Nodes[id].Name)
+		}
+		colour[id] = grey
+		nd := &n.Nodes[id]
+		if nd.Kind == KindLUT || nd.Kind == KindOutput || nd.Kind == KindRAM {
+			for _, r := range nd.refs() {
+				if err := visit(r); err != nil {
+					return err
+				}
+			}
+			order = append(order, id)
+		}
+		colour[id] = black
+		return nil
+	}
+	ids := make([]ID, len(n.Nodes))
+	for i := range ids {
+		ids[i] = ID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if err := visit(id); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

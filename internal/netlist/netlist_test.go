@@ -1,0 +1,308 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// buildCounter builds an n-bit free-running binary counter with carry chain.
+func buildCounter(n int) *Netlist {
+	nl := New("counter")
+	en := nl.Input("en")
+	ffs := make([]ID, n)
+	// Declare FFs first (they feed back combinationally).
+	// Build: bit0 toggles when en; bit i toggles when en & all lower bits.
+	// Two passes: first create placeholder LUT chain using FF ids.
+	// Create FFs with D assigned after LUTs exist is impossible with the
+	// builder, so create LUTs referencing future ids is also impossible.
+	// Instead: create FFs driven by XOR LUTs we build incrementally using
+	// already-created FFs (carry = AND of lower FFs and en).
+	carry := en
+	for i := 0; i < n; i++ {
+		// We need ff[i] before its own D. Trick: D = ff XOR carry needs
+		// ff id; create FF with temporary D = carry, then patch D after
+		// creating the XOR LUT. Patch directly in Nodes (test helper).
+		ff := nl.FF("", carry, None, false)
+		x := nl.LUT("", fabric.LUTXor2, ff, carry)
+		nl.Nodes[ff].D = x
+		if i < n-1 {
+			carry = nl.LUT("", fabric.LUTAnd2, ff, carry)
+		}
+		ffs[i] = ff
+	}
+	for i, ff := range ffs {
+		nl.Output(outName(i), ff)
+	}
+	return nl
+}
+
+func outName(i int) string { return string(rune('a' + i)) }
+
+func countVal(out []bool) int {
+	v := 0
+	for i, b := range out {
+		if b {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+func TestCounterCounts(t *testing.T) {
+	nl := buildCounter(4)
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		out, err := sim.Step([]bool{true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countVal(out); got != i%16 {
+			t.Fatalf("cycle %d: counter = %d, want %d", i, got, i%16)
+		}
+	}
+	// With en low the counter holds.
+	before, _ := sim.Step([]bool{false})
+	after, _ := sim.Step([]bool{false})
+	if countVal(before) != countVal(after) {
+		t.Error("counter advanced with enable low")
+	}
+}
+
+func TestGatedClockRegister(t *testing.T) {
+	nl := New("gated")
+	d := nl.Input("d")
+	ce := nl.Input("ce")
+	ff := nl.FF("r", d, ce, false)
+	nl.Output("q", ff)
+	sim, err := NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sim.Step([]bool{true, false})
+	if out[0] {
+		t.Error("FF captured with CE low")
+	}
+	out, _ = sim.Step([]bool{true, true})
+	if !out[0] {
+		t.Error("FF did not capture with CE high")
+	}
+	out, _ = sim.Step([]bool{false, false})
+	if !out[0] {
+		t.Error("FF lost state with CE low")
+	}
+}
+
+func TestLatchTransparency(t *testing.T) {
+	nl := New("latch")
+	d := nl.Input("d")
+	g := nl.Input("g")
+	l := nl.Latch("l", d, g, false)
+	nl.Output("q", l)
+	sim, err := NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gate high: output follows D without a clock edge.
+	sim.SetInputs([]bool{true, true})
+	if err := sim.Settle(); err != nil {
+		t.Fatal(err)
+	}
+	if !sim.Outputs()[0] {
+		t.Error("transparent latch did not follow D")
+	}
+	// Gate low: D changes are ignored; state holds.
+	sim.SetInputs([]bool{false, false})
+	sim.Settle()
+	if !sim.Outputs()[0] {
+		t.Error("latch lost state when gate closed")
+	}
+}
+
+func TestRAMWriteRead(t *testing.T) {
+	nl := New("ram")
+	a0 := nl.Input("a0")
+	a1 := nl.Input("a1")
+	z := nl.Const("zero", false)
+	d := nl.Input("d")
+	we := nl.Input("we")
+	r := nl.RAM("m", [4]ID{a0, a1, z, z}, d, we)
+	nl.Output("q", r)
+	sim, err := NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 1 at address 2 (a1=1,a0=0).
+	sim.Step([]bool{false, true, true, true})
+	// Read back address 2.
+	sim.SetInputs([]bool{false, true, false, false})
+	sim.Settle()
+	if !sim.Outputs()[0] {
+		t.Error("RAM read back 0 at written address")
+	}
+	// Other address still 0.
+	sim.SetInputs([]bool{true, false, false, false})
+	sim.Settle()
+	if sim.Outputs()[0] {
+		t.Error("RAM read back 1 at unwritten address")
+	}
+	if sim.RAMContents(r) != 1<<2 {
+		t.Errorf("RAM contents = %#x", sim.RAMContents(r))
+	}
+}
+
+func TestValidateCatchesCombLoop(t *testing.T) {
+	nl := New("loop")
+	a := nl.LUT("a", fabric.LUTBuf, 0) // self-reference: node 0 is itself
+	_ = a
+	if err := nl.Validate(); err == nil {
+		t.Error("combinational self-loop not detected")
+	}
+
+	nl2 := New("loop2")
+	x := nl2.Input("x")
+	l1 := nl2.LUT("l1", fabric.LUTAnd2, x, 2) // forward ref to l2
+	l2 := nl2.LUT("l2", fabric.LUTBuf, l1)
+	_ = l2
+	if err := nl2.Validate(); err == nil {
+		t.Error("two-node combinational loop not detected")
+	}
+}
+
+func TestValidateCatchesBadRefs(t *testing.T) {
+	nl := New("bad")
+	nl.LUT("l", fabric.LUTBuf, 99)
+	if err := nl.Validate(); err == nil {
+		t.Error("out-of-range reference not detected")
+	}
+	nl2 := New("bad2")
+	in := nl2.Input("i")
+	o := nl2.Output("o", in)
+	nl2.LUT("l", fabric.LUTBuf, o) // reading from an output node
+	if err := nl2.Validate(); err == nil {
+		t.Error("read-from-output not detected")
+	}
+}
+
+func TestFFBreaksCycle(t *testing.T) {
+	// A feedback loop through an FF is legal (that is what sequential
+	// circuits are).
+	nl := New("feedback")
+	ff := nl.FF("s", None, None, false)
+	inv := nl.LUT("inv", fabric.LUTInv, ff)
+	nl.Nodes[ff].D = inv
+	nl.Output("q", ff)
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("FF feedback rejected: %v", err)
+	}
+	sim, _ := NewSim(nl)
+	// Toggles every cycle.
+	o1, _ := sim.Step(nil)
+	o2, _ := sim.Step(nil)
+	if o1[0] == o2[0] {
+		t.Error("toggle FF did not toggle")
+	}
+}
+
+func TestOscillationDetected(t *testing.T) {
+	// A latch ring that oscillates while transparent must be reported, not
+	// loop forever.
+	nl := New("osc")
+	g := nl.Input("g")
+	l := nl.Latch("l", None, g, false)
+	inv := nl.LUT("inv", fabric.LUTInv, l)
+	nl.Nodes[l].D = inv
+	nl.Output("q", l)
+	sim, err := NewSim(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetInputs([]bool{true})
+	if err := sim.Settle(); err == nil {
+		t.Error("oscillation not detected")
+	}
+}
+
+func TestSnapshotCapturesState(t *testing.T) {
+	nl := buildCounter(3)
+	sim, _ := NewSim(nl)
+	for i := 0; i < 5; i++ {
+		sim.Step([]bool{true})
+	}
+	snap := sim.Snapshot()
+	if len(snap.FF) != 3 {
+		t.Fatalf("snapshot has %d FFs", len(snap.FF))
+	}
+	v := 0
+	bit := 0
+	for i := 0; i < 3; i++ {
+		name := nl.Nodes[nl.Outputs()[i]].Name
+		_ = name
+	}
+	// Reconstruct the counter value from FF states via outputs.
+	for i, id := range nl.Outputs() {
+		if sim.Value(id) {
+			v |= 1 << i
+		}
+		bit++
+	}
+	if v != 5 {
+		t.Errorf("counter state = %d, want 5", v)
+	}
+}
+
+func TestStatsAndNames(t *testing.T) {
+	nl := New("stats")
+	a := nl.Input("a")
+	c := nl.Const("one", true)
+	l := nl.LUT("l", fabric.LUTAnd2, a, c)
+	f := nl.FF("f", l, None, false)
+	nl.Latch("lt", l, a, false)
+	nl.RAM("m", [4]ID{a, a, a, a}, l, f)
+	nl.Output("o", f)
+	s := nl.Stats()
+	want := Stats{Inputs: 1, Outputs: 1, LUTs: 1, FFs: 1, Latches: 1, Consts: 1, RAMs: 1}
+	if s != want {
+		t.Errorf("stats = %+v, want %+v", s, want)
+	}
+	if id, ok := nl.ByName("l"); !ok || id != l {
+		t.Error("ByName failed")
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestoresInit(t *testing.T) {
+	nl := New("init")
+	ff := nl.FF("f", None, None, true)
+	inv := nl.LUT("i", fabric.LUTInv, ff)
+	nl.Nodes[ff].D = inv
+	nl.Output("q", ff)
+	sim, _ := NewSim(nl)
+	if !sim.Value(ff) {
+		t.Error("init value not applied")
+	}
+	sim.Step(nil)
+	sim.Reset()
+	if !sim.Value(ff) {
+		t.Error("Reset did not restore init value")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	nl := New("dup")
+	nl.Input("x")
+	nl.Input("x")
+}

@@ -1,0 +1,35 @@
+package rearrange
+
+import (
+	"testing"
+
+	"repro/internal/area"
+)
+
+func benchGrid() *area.Manager {
+	m := area.NewManager(28, 42)
+	s := uint64(9)
+	for i := 0; i < 50; i++ {
+		s = s*6364136223846793005 + 1442695040888963407
+		h := 2 + int(s>>40)%4
+		w := 2 + int(s>>50)%4
+		m.Allocate(h, w, area.Policy(int(s>>60)%3))
+	}
+	return m
+}
+
+func BenchmarkOrderedCompactionPlan(b *testing.B) {
+	m := benchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OrderedCompaction{}.Plan(m, 10, 12)
+	}
+}
+
+func BenchmarkLocalRepackingPlan(b *testing.B) {
+	m := benchGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LocalRepacking{}.Plan(m, 10, 12)
+	}
+}

@@ -1,0 +1,262 @@
+// Package rearrange plans partial rearrangements of running tasks to open a
+// contiguous region for an incoming function. The planners follow the
+// methods of Diessel et al. (the paper's reference [5]) — local repacking
+// and ordered compaction — whose physical execution is exactly what the
+// relocation engine provides without halting the moved tasks.
+package rearrange
+
+import (
+	"sort"
+
+	"repro/internal/area"
+	"repro/internal/fabric"
+)
+
+// Step moves one running task to a new rectangle.
+type Step struct {
+	ID   int
+	From fabric.Rect
+	To   fabric.Rect
+}
+
+// Plan is an ordered, feasible sequence of task moves after which an H x W
+// region is free.
+type Plan struct {
+	Steps []Step
+	// Target is the rectangle freed for the incoming task.
+	Target fabric.Rect
+	// CostCLBs is the total CLB count relocated (the paper's relocation
+	// cost unit: each CLB move costs ~tens of ms of reconfiguration).
+	CostCLBs int
+}
+
+// Planner proposes rearrangement plans.
+type Planner interface {
+	Name() string
+	// Plan returns a feasible plan freeing an h x w region, or ok=false.
+	// The manager is not modified.
+	Plan(m *area.Manager, h, w int) (*Plan, bool)
+}
+
+// None is the no-rearrangement baseline.
+type None struct{}
+
+// Name implements Planner.
+func (None) Name() string { return "none" }
+
+// Plan implements Planner: it only succeeds if the region already fits.
+func (None) Plan(m *area.Manager, h, w int) (*Plan, bool) {
+	if rect, ok := m.FindPlacement(h, w, area.FirstFit); ok {
+		return &Plan{Target: rect}, true
+	}
+	return nil, false
+}
+
+// OrderedCompaction slides every task as far west as it can go, in
+// left-edge order, then checks whether the request fits. Task order along
+// the horizontal axis is preserved (Diessel's ordered compaction).
+type OrderedCompaction struct{}
+
+// Name implements Planner.
+func (OrderedCompaction) Name() string { return "ordered-compaction" }
+
+// Plan implements Planner.
+func (OrderedCompaction) Plan(m *area.Manager, h, w int) (*Plan, bool) {
+	if rect, ok := m.FindPlacement(h, w, area.FirstFit); ok {
+		return &Plan{Target: rect}, true
+	}
+	clone := m.Clone()
+	ids := clone.Allocations()
+	sort.Slice(ids, func(a, b int) bool {
+		ra, _ := clone.Rect(ids[a])
+		rb, _ := clone.Rect(ids[b])
+		if ra.Col != rb.Col {
+			return ra.Col < rb.Col
+		}
+		return ra.Row < rb.Row
+	})
+	plan := &Plan{}
+	for _, id := range ids {
+		rect, _ := clone.Rect(id)
+		best := rect
+		for c := 0; c < rect.Col; c++ {
+			cand := fabric.Rect{Row: rect.Row, Col: c, H: rect.H, W: rect.W}
+			// Sliding left may overlap the task's own cells; test on a
+			// scratch copy with the task removed.
+			scratch := clone.Clone()
+			scratch.Free(id)
+			if _, err := scratch.AllocateAt(cand); err == nil {
+				best = cand
+				break
+			}
+		}
+		if best != rect {
+			if err := clone.Move(id, best); err != nil {
+				continue
+			}
+			plan.Steps = append(plan.Steps, Step{ID: id, From: rect, To: best})
+			plan.CostCLBs += rect.Area()
+		}
+	}
+	rect, ok := clone.FindPlacement(h, w, area.FirstFit)
+	if !ok {
+		return nil, false
+	}
+	plan.Target = rect
+	return plan, true
+}
+
+// LocalRepacking frees a candidate window by moving only the tasks that
+// overlap it, choosing the window whose eviction cost is minimal (Diessel's
+// local repacking).
+type LocalRepacking struct{}
+
+// Name implements Planner.
+func (LocalRepacking) Name() string { return "local-repacking" }
+
+// Plan implements Planner.
+func (LocalRepacking) Plan(m *area.Manager, h, w int) (*Plan, bool) {
+	if rect, ok := m.FindPlacement(h, w, area.FirstFit); ok {
+		return &Plan{Target: rect}, true
+	}
+	type cand struct {
+		window fabric.Rect
+		cost   int
+	}
+	var cands []cand
+	for r := 0; r+h <= m.Rows; r++ {
+		for c := 0; c+w <= m.Cols; c++ {
+			window := fabric.Rect{Row: r, Col: c, H: h, W: w}
+			cost := 0
+			feasiblySmall := true
+			seen := map[int]bool{}
+			for _, cc := range window.Coords() {
+				id := m.OwnerAt(cc)
+				if id == 0 || seen[id] {
+					continue
+				}
+				seen[id] = true
+				rect, _ := m.Rect(id)
+				cost += rect.Area()
+				if rect.Area() >= h*w*2 {
+					feasiblySmall = false // evicting giants is hopeless
+				}
+			}
+			if feasiblySmall {
+				cands = append(cands, cand{window, cost})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].cost != cands[b].cost {
+			return cands[a].cost < cands[b].cost
+		}
+		if cands[a].window.Row != cands[b].window.Row {
+			return cands[a].window.Row < cands[b].window.Row
+		}
+		return cands[a].window.Col < cands[b].window.Col
+	})
+	for _, cd := range cands {
+		if plan, ok := tryEvict(m, cd.window); ok {
+			return plan, true
+		}
+	}
+	return nil, false
+}
+
+// tryEvict plans moves for every task overlapping the window to somewhere
+// outside it, simulating the moves IN EXECUTION ORDER so the plan is
+// feasible step by step on the live device.
+func tryEvict(m *area.Manager, window fabric.Rect) (*Plan, bool) {
+	clone := m.Clone()
+	// Identify overlapping tasks, biggest first (hardest to re-place).
+	var ids []int
+	seen := map[int]bool{}
+	for _, c := range window.Coords() {
+		if id := clone.OwnerAt(c); id != 0 && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ra, _ := clone.Rect(ids[a])
+		rb, _ := clone.Rect(ids[b])
+		if ra.Area() != rb.Area() {
+			return ra.Area() > rb.Area()
+		}
+		return ids[a] < ids[b]
+	})
+	plan := &Plan{Target: window}
+	for _, id := range ids {
+		old, _ := clone.Rect(id)
+		to, ok := findOutside(clone, id, old.H, old.W, window)
+		if !ok {
+			return nil, false
+		}
+		if err := clone.Move(id, to); err != nil {
+			return nil, false
+		}
+		plan.Steps = append(plan.Steps, Step{ID: id, From: old, To: to})
+		plan.CostCLBs += old.Area()
+	}
+	// After the ordered moves the window must be completely free.
+	for _, c := range window.Coords() {
+		if clone.Occupied(c) {
+			return nil, false
+		}
+	}
+	return plan, true
+}
+
+// findOutside finds a free H x W rectangle not overlapping the window and
+// not overlapping any cell of other tasks (the moving task's own cells do
+// not count, but targets overlapping its old position are rejected to keep
+// the physical staged move simple).
+func findOutside(m *area.Manager, id, h, w int, window fabric.Rect) (fabric.Rect, bool) {
+	best := fabric.Rect{}
+	bestScore := -1
+	for r := 0; r+h <= m.Rows; r++ {
+		for c := 0; c+w <= m.Cols; c++ {
+			rect := fabric.Rect{Row: r, Col: c, H: h, W: w}
+			if rect.Overlaps(window) {
+				continue
+			}
+			free := true
+			for _, cc := range rect.Coords() {
+				if owner := m.OwnerAt(cc); owner != 0 {
+					free = false
+					break
+				}
+			}
+			if !free {
+				continue
+			}
+			// Prefer positions far from the window (keeps the corridor
+			// clear) — score by Manhattan distance of centres.
+			score := abs(rect.Row-window.Row) + abs(rect.Col-window.Col)
+			if score > bestScore {
+				bestScore, best = score, rect
+			}
+		}
+	}
+	_ = id
+	return best, bestScore >= 0
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Execute applies a plan's moves to a manager (book-keeping only; physical
+// execution is the relocation engine's job).
+func Execute(m *area.Manager, p *Plan) error {
+	for _, s := range p.Steps {
+		if err := m.Move(s.ID, s.To); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package relocate_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+)
+
+// scanDangling returns wires that are driven (enabled PIP mask) but feed no
+// enabled consumer and no pad — resource leaks that starve future
+// relocations of routing capacity.
+func scanDangling(dev *fabric.Device) []string {
+	var out []string
+	for r := 0; r < dev.Rows; r++ {
+		for c := 0; c < dev.Cols; c++ {
+			co := fabric.Coord{Row: r, Col: c}
+			for l := 0; l < fabric.NodeSlots; l++ {
+				kind, _, _ := fabric.DecodeLocal(l)
+				if kind != fabric.KindSingle && kind != fabric.KindHex {
+					continue
+				}
+				if !fabric.IsLocalSink(l) || dev.PIPMask(co, l) == 0 {
+					continue
+				}
+				n := dev.NodeIDAt(co, l)
+				feeds := false
+				for _, e := range dev.FanoutOf(n) {
+					if dev.PIPMask(e.SinkTile, e.SinkLocal)>>e.Bit&1 == 1 {
+						feeds = true
+						break
+					}
+				}
+				if !feeds {
+					for k := 0; k < dev.NumPads() && !feeds; k++ {
+						for _, src := range dev.PadEnabledSources(dev.PadByIndex(k)) {
+							if src == n {
+								feeds = true
+							}
+						}
+					}
+				}
+				if !feeds {
+					out = append(out, co.String())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// countPIPs counts every enabled PIP bit on the device.
+func countPIPs(dev *fabric.Device) int {
+	n := 0
+	for r := 0; r < dev.Rows; r++ {
+		for c := 0; c < dev.Cols; c++ {
+			co := fabric.Coord{Row: r, Col: c}
+			for l := 0; l < fabric.NodeSlots; l++ {
+				if !fabric.IsLocalSink(l) {
+					continue
+				}
+				m := dev.PIPMask(co, l)
+				for ; m != 0; m &= m - 1 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// TestNoDanglingWiresAfterRelocation: after any completed relocation the
+// fabric holds no driven-but-unconsumed wires (the resource-leak regression
+// that once starved ping-pong round 5 of routing).
+func TestNoDanglingWiresAfterRelocation(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	d := placeDesign(t, dev, "b03")
+	h := newHarness(t, dev, d, directPort(dev))
+	if got := scanDangling(dev); len(got) != 0 {
+		t.Fatalf("dangling wires before any relocation: %v", got)
+	}
+	moved := 0
+	row := 9
+	for id, nd := range d.NL.Nodes {
+		if nd.Kind != netlist.KindFF {
+			continue
+		}
+		from, ok := d.CellOf[netlist.ID(id)]
+		if !ok {
+			continue
+		}
+		to := freeCellAt(dev, fabric.Coord{Row: row, Col: 11 + moved%2}, from.Cell)
+		if _, err := h.eng.RelocateCell(from, to); err != nil {
+			t.Fatalf("move %d: %v", moved, err)
+		}
+		d.Rebind(from, to)
+		h.run(10)
+		if got := scanDangling(dev); len(got) != 0 {
+			t.Fatalf("dangling wires after move %d (%v->%v): %v", moved, from, to, got)
+		}
+		moved++
+		row += 2
+		if moved == 3 {
+			break
+		}
+	}
+	if moved == 0 {
+		t.Fatal("nothing moved")
+	}
+}
+
+// TestPingPongPIPCountIsPeriodic: relocating the same cell back and forth
+// must cycle through a bounded, periodic PIP population — no monotone
+// resource growth.
+func TestPingPongPIPCountIsPeriodic(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	d := placeDesign(t, dev, "b02")
+	h := newHarness(t, dev, d, directPort(dev))
+	from, _, ok := findCellWith(d, func(nd netlist.Node) bool { return nd.Kind == netlist.KindFF })
+	if !ok {
+		t.Fatal("no FF")
+	}
+	spare := freeCellAt(dev, fabric.Coord{Row: 12, Col: 12}, from.Cell)
+	locs := [2]fabric.CellRef{from, spare}
+	counts := make([]int, 8)
+	for i := 0; i < 8; i++ {
+		if _, err := h.eng.RelocateCell(locs[i%2], locs[(i+1)%2]); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		d.Rebind(locs[i%2], locs[(i+1)%2])
+		h.run(5)
+		counts[i] = countPIPs(dev)
+	}
+	// After the first round the sequence must be 2-periodic.
+	for i := 3; i < 8; i++ {
+		if counts[i] != counts[i-2] {
+			t.Fatalf("PIP population not periodic: %v", counts)
+		}
+	}
+	if got := scanDangling(dev); len(got) != 0 {
+		t.Fatalf("dangling wires after ping-pong: %v", got)
+	}
+}

@@ -1,0 +1,299 @@
+package relocate_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/relocate"
+	"repro/internal/sim"
+)
+
+// TestRelocateAsyncLatch reproduces the paper's third implementation case:
+// "this method is also effective when dealing with asynchronous circuits,
+// where transparent data latches are used instead of FFs ... The same
+// auxiliary relocation circuit is used and the same relocation sequence is
+// followed." The latch holds its state while its gate is LOW during the
+// whole relocation.
+func TestRelocateAsyncLatch(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl := netlist.New("asynclatch")
+	d := nl.Input("d")
+	g := nl.Input("g")
+	l := nl.Latch("l", d, g, false)
+	nl.Output("q", l)
+	des, err := place.Place(dev, nl, place.Options{Region: fabric.Rect{Row: 3, Col: 3, H: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latch a 1, close the gate.
+	if err := ls.Settle([]bool{true, true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Settle([]bool{true, false}); err != nil {
+		t.Fatal(err)
+	}
+	toggle := false
+	phase := func(n int) error {
+		// D keeps changing, gate stays closed: the latch must hold.
+		for i := 0; i < n; i++ {
+			toggle = !toggle
+			if err := ls.Settle([]bool{toggle, false}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	eng, err := relocate.NewEngine(dev, directPort(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Clock = phase
+	last := ls.OutputSnapshot()
+	eng.Tool.VerifyHook = func() error {
+		if err := ls.VerifyQuiescent(last); err != nil {
+			return err
+		}
+		last = ls.OutputSnapshot()
+		return nil
+	}
+	lid, _ := nl.ByName("l")
+	from := des.CellOf[lid]
+	to := fabric.CellRef{Coord: fabric.Coord{Row: 11, Col: 11}, Cell: from.Cell}
+	mv, err := eng.RelocateCell(from, to)
+	if err != nil {
+		t.Fatalf("latch relocation: %v", err)
+	}
+	if !mv.UsedAux {
+		t.Error("latch relocation must use the auxiliary circuit")
+	}
+	des.Rebind(from, to)
+	if err := phase(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.CheckState(); err != nil {
+		t.Fatalf("latch state after relocation: %v", err)
+	}
+	// Reopen the gate: the latch must follow D again at the new location.
+	if err := ls.Settle([]bool{false, true}); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Fab.CellQ(to) != sim.Low {
+		t.Error("relocated latch not transparent at new location")
+	}
+}
+
+// TestRelocateAsyncBenchmark relocates a latch cell of a generated two-phase
+// asynchronous circuit while the phases keep pulsing.
+func TestRelocateAsyncBenchmark(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl := itc99.Generate(itc99.GenConfig{
+		Name: "async_rel", Inputs: 3, Outputs: 3, FFs: 6, LUTs: 16,
+		Seed: 21, Style: itc99.Async,
+	})
+	region, err := place.AutoRegion(dev, nl, 2, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des, err := place.Place(dev, nl, place.Options{Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := nl.Inputs()
+	idx1, idx2 := -1, -1
+	for i, id := range ins {
+		switch nl.Nodes[id].Name {
+		case "phi1":
+			idx1 = i
+		case "phi2":
+			idx2 = i
+		}
+	}
+	rng := uint64(31)
+	cyc := 0
+	phase := func(n int) error {
+		for i := 0; i < n; i++ {
+			cyc++
+			in := make([]bool, len(ins))
+			for k := range in {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				in[k] = rng>>39&1 == 1
+			}
+			in[idx1], in[idx2] = false, false
+			if cyc%2 == 0 {
+				in[idx1] = true
+			} else {
+				in[idx2] = true
+			}
+			if err := ls.Settle(in); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := phase(10); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := relocate.NewEngine(dev, directPort(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Clock = phase
+	var from fabric.CellRef
+	found := false
+	for id, nd := range nl.Nodes {
+		if nd.Kind == netlist.KindLatch {
+			if ref, ok := des.CellOf[netlist.ID(id)]; ok {
+				from, found = ref, true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no latch cell")
+	}
+	to := fabric.CellRef{Coord: fabric.Coord{Row: 12, Col: 12}, Cell: from.Cell}
+	mv, err := eng.RelocateCell(from, to)
+	if err != nil {
+		t.Fatalf("async benchmark latch relocation: %v", err)
+	}
+	if !mv.UsedAux {
+		t.Error("expected aux circuit for latch")
+	}
+	des.Rebind(from, to)
+	if err := phase(12); err != nil {
+		t.Fatalf("post-relocation: %v", err)
+	}
+}
+
+// TestRelocationSucceedsWithRAMElsewhere: a distributed RAM far from every
+// affected column must NOT block the relocation (the rule is per-column,
+// not per-device).
+func TestRelocationSucceedsWithRAMElsewhere(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	d := placeDesign(t, dev, "b01")
+	// RAM in the last column, far from region (cols 2..) and target (10).
+	dev.WriteCell(fabric.CellRef{Coord: fabric.Coord{Row: 15, Col: 23}, Cell: 0},
+		fabric.CellConfig{Used: true, RAM: true, CEUsed: true})
+	h := newHarness(t, dev, d, directPort(dev))
+	from, _, ok := findCellWith(d, func(nd netlist.Node) bool { return nd.Kind == netlist.KindFF })
+	if !ok {
+		t.Fatal("no FF")
+	}
+	to := freeCellAt(dev, fabric.Coord{Row: 10, Col: 10}, from.Cell)
+	if _, err := h.eng.RelocateCell(from, to); err != nil {
+		t.Fatalf("relocation blocked by unrelated RAM: %v", err)
+	}
+	d.Rebind(from, to)
+	h.run(30)
+}
+
+// TestRepeatedPingPongRelocation stress-tests resource accounting: the same
+// cell moved back and forth many times must not leak wires or frames grow
+// unboundedly.
+func TestRepeatedPingPongRelocation(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	d := placeDesign(t, dev, "b02")
+	h := newHarness(t, dev, d, directPort(dev))
+	from, _, ok := findCellWith(d, func(nd netlist.Node) bool { return nd.Kind == netlist.KindFF })
+	if !ok {
+		t.Fatal("no FF")
+	}
+	spare := freeCellAt(dev, fabric.Coord{Row: 12, Col: 12}, from.Cell)
+	locs := [2]fabric.CellRef{from, spare}
+	var frames []int
+	for i := 0; i < 6; i++ {
+		mv, err := h.eng.RelocateCell(locs[i%2], locs[(i+1)%2])
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		d.Rebind(locs[i%2], locs[(i+1)%2])
+		frames = append(frames, mv.Frames)
+		h.last = h.ls.OutputSnapshot()
+		h.run(10)
+	}
+	// Frame counts must stabilise (no monotone growth = no leaked routing
+	// forcing ever-longer paths).
+	if frames[5] > frames[1]*2 {
+		t.Errorf("frame cost growing across rounds: %v", frames)
+	}
+}
+
+// TestRelocateHandcraftedB01AgainstModel verifies a relocation against a
+// completely independent oracle: the hand-written Go model of the b01
+// comparator FSM (not the golden netlist simulator the lock-step harness
+// uses). Outputs must match the model before, during and after the move.
+func TestRelocateHandcraftedB01AgainstModel(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl := itc99.B01FSM()
+	des, err := place.Place(dev, nl, place.Options{Region: fabric.Rect{Row: 3, Col: 3, H: 2, W: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := itc99.NewB01Model()
+	rng := uint64(404)
+	cycle := 0
+	step := func(n int) error {
+		for i := 0; i < n; i++ {
+			cycle++
+			rng = rng*6364136223846793005 + 1442695040888963407
+			l1 := rng>>40&1 == 1
+			l2 := rng>>41&1 == 1
+			if err := ls.Step([]bool{l1, l2}); err != nil {
+				return err
+			}
+			outs, flag, same := model.Step(l1, l2)
+			got := ls.OutputSnapshot()
+			want := []bool{outs, flag, same}
+			for k := range want {
+				if !got[k].Definite() || got[k].Bool() != want[k] {
+					return fmt.Errorf("cycle %d output %d: fabric=%v model=%v", cycle, k, got[k], want[k])
+				}
+			}
+		}
+		return nil
+	}
+	if err := step(20); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := relocate.NewEngine(dev, directPort(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Clock = step
+	// Move every occupied CLB of the little FSM, one after another.
+	row := 9
+	seen := map[fabric.Coord]bool{}
+	for _, ref := range des.OccupiedCells() {
+		if seen[ref.Coord] {
+			continue
+		}
+		seen[ref.Coord] = true
+		dst := fabric.Coord{Row: row, Col: 10}
+		row += 2
+		if _, err := eng.RelocateCLB(ref.Coord, dst); err != nil {
+			t.Fatalf("relocating %v: %v", ref.Coord, err)
+		}
+		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+			des.Rebind(fabric.CellRef{Coord: ref.Coord, Cell: cell}, fabric.CellRef{Coord: dst, Cell: cell})
+		}
+	}
+	if err := step(40); err != nil {
+		t.Fatalf("model divergence after full-design relocation: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+package relocate_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/relocate"
+)
+
+// TestRandomisedRelocationScenarios is a property test over the whole
+// relocation engine: random small circuits (all three design styles), random
+// sequences of cell moves to random free destinations, with full lock-step
+// verification and the no-dangling-wire invariant after every move.
+func TestRandomisedRelocationScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised scenario sweep")
+	}
+	scenarios := []struct {
+		seed  uint64
+		style itc99.Style
+		ffs   int
+		luts  int
+	}{
+		{101, itc99.FreeRunning, 5, 12},
+		{102, itc99.GatedClock, 6, 14},
+		{103, itc99.FreeRunning, 8, 18},
+		{104, itc99.GatedClock, 4, 10},
+		{105, itc99.FreeRunning, 3, 8},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.style.String(), func(t *testing.T) {
+			dev := fabric.NewDevice(fabric.XCV50)
+			nl := itc99.Generate(itc99.GenConfig{
+				Name: "rand", Inputs: 3, Outputs: 3,
+				FFs: sc.ffs, LUTs: sc.luts,
+				Seed: sc.seed, Style: sc.style, CEFraction: 0.6,
+			})
+			region, err := place.AutoRegion(dev, nl, 2, 2, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := place.Place(dev, nl, place.Options{Region: region})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := newHarness(t, dev, d, directPort(dev))
+			rng := sc.seed * 0x9E3779B97F4A7C15
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % n
+			}
+			// Perform 4 random moves of random occupied cells.
+			for move := 0; move < 4; move++ {
+				cells := d.OccupiedCells()
+				from := cells[next(len(cells))]
+				// Random free destination outside the region.
+				var to fabric.CellRef
+				for tries := 0; ; tries++ {
+					if tries > 50 {
+						t.Fatal("no free destination found")
+					}
+					to = fabric.CellRef{
+						Coord: fabric.Coord{Row: 8 + next(7), Col: 8 + next(14)},
+						Cell:  from.Cell,
+					}
+					if !dev.ReadCell(to).InUse() {
+						break
+					}
+				}
+				mv, err := h.eng.RelocateCell(from, to)
+				if err != nil {
+					// Routing exhaustion is a legal outcome for a random
+					// destination; anything else is a bug.
+					if isRoutingError(err) {
+						continue
+					}
+					t.Fatalf("move %d (%v->%v): %v", move, from, to, err)
+				}
+				if dev.ReadCell(from).InUse() {
+					t.Fatalf("move %d: original still configured", move)
+				}
+				if mv.Frames == 0 {
+					t.Fatalf("move %d: no frames written", move)
+				}
+				d.Rebind(from, to)
+				h.run(12)
+				if leaks := scanDangling(dev); len(leaks) != 0 {
+					t.Fatalf("move %d leaked wires: %v", move, leaks)
+				}
+			}
+			h.run(30)
+		})
+	}
+}
+
+func isRoutingError(err error) bool {
+	for e := err; e != nil; {
+		type unwrapper interface{ Unwrap() error }
+		if u, ok := e.(unwrapper); ok {
+			e = u.Unwrap()
+			continue
+		}
+		break
+	}
+	// String check is fine here: route errors are wrapped fmt errors.
+	return err != nil && (contains(err.Error(), "no path to sink") ||
+		contains(err.Error(), "congestion unresolved") ||
+		contains(err.Error(), "no free CLB"))
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRelocationAtomicityOnPlanFailure: a failed plan (busy destination,
+// RAM conflict, routing exhaustion) must leave the configuration untouched.
+func TestRelocationAtomicityOnPlanFailure(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	d := placeDesign(t, dev, "b02")
+	eng, err := relocate.NewEngine(dev, directPort(dev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := countPIPs(dev)
+	gen := dev.Generation()
+	var from fabric.CellRef
+	for _, ref := range d.OccupiedCells() {
+		from = ref
+		break
+	}
+	// Busy destination: plan fails before any frame write.
+	if _, err := eng.RelocateCell(from, from); err == nil {
+		t.Fatal("relocation onto itself accepted")
+	}
+	if dev.Generation() != gen {
+		t.Error("failed plan wrote configuration")
+	}
+	if countPIPs(dev) != before {
+		t.Error("failed plan changed PIP population")
+	}
+	_ = netlist.None
+}

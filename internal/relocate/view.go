@@ -1,0 +1,317 @@
+// Package relocate implements the paper's contribution: dynamic relocation
+// of active CLBs and routing resources on a partially reconfigurable FPGA,
+// without stopping the functions that use them.
+//
+// The engine realises the two-phase relocation procedure of Fig. 2, the
+// auxiliary relocation circuit for gated-clock and latch-based circuits of
+// Fig. 3, the eleven-step flow of Fig. 4, and the duplicate-then-drop
+// relocation of routing resources of Fig. 5 — all expressed as configuration
+// frame writes delivered through a configuration port (Boundary-Scan in the
+// paper), with cycle-exact cost accounting.
+//
+// Like the paper's JBits-based tool, the engine derives everything it needs
+// — net connectivity, free resources, fanout — from the configuration
+// memory itself, so it can relocate logic it did not place.
+package relocate
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// view is the engine's bitstream-derived picture of the device: which
+// routing nodes are in use, which cells are occupied, and how signals flow.
+type view struct {
+	dev *fabric.Device
+	gen uint64
+
+	used    map[fabric.NodeID]bool
+	inUse   map[fabric.CellRef]bool
+	freeCLB map[fabric.Coord]bool
+}
+
+func newView(dev *fabric.Device) *view {
+	v := &view{dev: dev}
+	v.rescan()
+	return v
+}
+
+// rescan rebuilds the occupancy picture from the configuration memory.
+func (v *view) rescan() {
+	v.gen = v.dev.Generation()
+	v.used = map[fabric.NodeID]bool{}
+	v.inUse = map[fabric.CellRef]bool{}
+	v.freeCLB = map[fabric.Coord]bool{}
+	dev := v.dev
+	for row := 0; row < dev.Rows; row++ {
+		for col := 0; col < dev.Cols; col++ {
+			c := fabric.Coord{Row: row, Col: col}
+			clbFree := true
+			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+				ref := fabric.CellRef{Coord: c, Cell: cell}
+				if dev.ReadCell(ref).InUse() {
+					v.inUse[ref] = true
+					clbFree = false
+					v.used[dev.NodeIDAt(c, fabric.LocalOutX(cell))] = true
+					v.used[dev.NodeIDAt(c, fabric.LocalOutXQ(cell))] = true
+				}
+			}
+			// Any sink with an enabled PIP marks itself and its enabled
+			// sources as used.
+			for local := 0; local < fabric.NodeSlots; local++ {
+				if !fabric.IsLocalSink(local) {
+					continue
+				}
+				if dev.PIPMask(c, local) == 0 {
+					continue
+				}
+				v.used[dev.NodeIDAt(c, local)] = true
+				for _, src := range dev.EnabledSourceNodes(c, local) {
+					v.used[src] = true
+				}
+				clbFree = false
+			}
+			if clbFree {
+				v.freeCLB[c] = true
+			}
+		}
+	}
+	// Pads.
+	for i := 0; i < dev.NumPads(); i++ {
+		p := dev.PadByIndex(i)
+		pc := dev.ReadPad(p)
+		if pc.Input || pc.Output {
+			v.used[dev.PadNodeID(p)] = true
+		}
+		for _, n := range dev.PadEnabledSources(p) {
+			v.used[n] = true
+		}
+	}
+}
+
+// refresh rescans if the configuration moved.
+func (v *view) refresh() {
+	if v.dev.Generation() != v.gen {
+		v.rescan()
+	}
+}
+
+// markUsed records nodes the engine just allocated (cheaper than a rescan).
+func (v *view) markUsed(nodes ...fabric.NodeID) {
+	for _, n := range nodes {
+		v.used[n] = true
+	}
+	v.gen = v.dev.Generation()
+}
+
+// markFree releases nodes the engine just freed.
+func (v *view) markFree(nodes ...fabric.NodeID) {
+	for _, n := range nodes {
+		delete(v.used, n)
+	}
+	v.gen = v.dev.Generation()
+}
+
+// terminalDriver walks backwards from a sink through enabled PIPs to the
+// terminal source (cell output or input pad). It also returns the chain of
+// nodes from the driver to the sink (driver first). An error is returned if
+// the sink resolves to zero or multiple drivers (the engine refuses to
+// relocate around malformed nets).
+func (v *view) terminalDriver(c fabric.Coord, sinkLocal int) (fabric.NodeID, []fabric.NodeID, error) {
+	dev := v.dev
+	var chain []fabric.NodeID
+	cur := dev.NodeIDAt(c, sinkLocal)
+	seen := map[fabric.NodeID]bool{}
+	for {
+		if seen[cur] {
+			return fabric.InvalidNode, nil, fmt.Errorf("relocate: routing loop at node %d", cur)
+		}
+		seen[cur] = true
+		chain = append(chain, cur)
+		if _, ok := dev.PadOfNode(cur); ok {
+			break
+		}
+		cc, local, _ := dev.SplitNode(cur)
+		kind, _, _ := fabric.DecodeLocal(local)
+		if kind == fabric.KindOutX || kind == fabric.KindOutXQ {
+			break
+		}
+		srcs := dev.EnabledSourceNodes(cc, local)
+		switch len(srcs) {
+		case 1:
+			cur = srcs[0]
+		case 0:
+			return fabric.InvalidNode, nil, fmt.Errorf("relocate: sink %v/%d has no driver", c, sinkLocal)
+		default:
+			return fabric.InvalidNode, nil, fmt.Errorf("relocate: sink %v/%d has %d parallel drivers", c, sinkLocal, len(srcs))
+		}
+	}
+	// chain is sink..driver; reverse.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain[0], chain, nil
+}
+
+// terminalSink is a leaf consumer of a net: a cell input pin or an output
+// pad, plus the wire that directly feeds it.
+type terminalSink struct {
+	node    fabric.NodeID // pin or pad node
+	lastSrc fabric.NodeID // the enabled source feeding it on the old path
+}
+
+// forwardCone walks forward from a source node through enabled PIPs,
+// returning the terminal sinks and every intermediate node of the tree.
+func (v *view) forwardCone(src fabric.NodeID) (sinks []terminalSink, tree []fabric.NodeID) {
+	dev := v.dev
+	seen := map[fabric.NodeID]bool{}
+	var walk func(n fabric.NodeID)
+	walk = func(n fabric.NodeID) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		tree = append(tree, n)
+		for _, e := range dev.FanoutOf(n) {
+			if dev.PIPMask(e.SinkTile, e.SinkLocal)>>e.Bit&1 != 1 {
+				continue
+			}
+			kind, _, _ := fabric.DecodeLocal(e.SinkLocal)
+			switch kind {
+			case fabric.KindPinI, fabric.KindPinBX, fabric.KindPinCE:
+				sinks = append(sinks, terminalSink{node: e.Sink, lastSrc: n})
+			default:
+				walk(e.Sink)
+			}
+		}
+		// Output pads fed by this node.
+		if _, local, ok := dev.SplitNode(n); ok {
+			kind, dir, idx := fabric.DecodeLocal(local)
+			if kind == fabric.KindSingle {
+				_ = dir
+				_ = idx
+				for _, p := range v.padsFedBy(n) {
+					sinks = append(sinks, terminalSink{node: dev.PadNodeID(p), lastSrc: n})
+				}
+			}
+		}
+	}
+	walk(src)
+	return sinks, tree
+}
+
+// padsFedBy finds output pads whose enabled OutMask selects the given wire.
+func (v *view) padsFedBy(n fabric.NodeID) []fabric.PadRef {
+	dev := v.dev
+	c, local, ok := dev.SplitNode(n)
+	if !ok {
+		return nil
+	}
+	kind, dir, idx := fabric.DecodeLocal(local)
+	if kind != fabric.KindSingle {
+		return nil
+	}
+	// The wire leaves the array only from a border tile heading out.
+	out := c.Step(dir, 1)
+	if dev.InBounds(out) {
+		return nil
+	}
+	var pads []fabric.PadRef
+	for k := 0; k < fabric.PadsPerEdgeTile; k++ {
+		if k != idx%fabric.PadsPerEdgeTile {
+			continue
+		}
+		side, pos := edgeOf(dev, out)
+		if pos < 0 {
+			continue
+		}
+		p := fabric.PadRef{Side: side, Pos: pos, K: k}
+		for _, srcNode := range dev.PadEnabledSources(p) {
+			if srcNode == n {
+				pads = append(pads, p)
+			}
+		}
+	}
+	return pads
+}
+
+func edgeOf(dev *fabric.Device, out fabric.Coord) (fabric.Dir, int) {
+	switch {
+	case out.Row < 0:
+		return fabric.North, out.Col
+	case out.Row >= dev.Rows:
+		return fabric.South, out.Col
+	case out.Col < 0:
+		return fabric.West, out.Row
+	case out.Col >= dev.Cols:
+		return fabric.East, out.Row
+	}
+	return fabric.North, -1
+}
+
+// exclusiveSuffix returns the tail of a driver->sink chain that serves only
+// this sink (no other enabled fanout), INCLUDING the anchor node it hangs
+// off (the last shared node, or the driver). Passing the result to
+// freeChain disables the entry hop into the exclusive region as well as
+// every hop inside it — leaving no driven-but-unconsumed wire behind —
+// while the anchor's own connectivity (serving other sinks) is untouched.
+func (v *view) exclusiveSuffix(chain []fabric.NodeID) []fabric.NodeID {
+	dev := v.dev
+	// chain[0] is the terminal driver; the last element the sink pin.
+	cut := len(chain) - 1 // default: only the sink itself is exclusive
+	for i := len(chain) - 2; i >= 1; i-- {
+		n := chain[i]
+		shared := false
+		for _, e := range dev.FanoutOf(n) {
+			if dev.PIPMask(e.SinkTile, e.SinkLocal)>>e.Bit&1 != 1 {
+				continue
+			}
+			if i+1 < len(chain) && e.Sink == chain[i+1] {
+				continue
+			}
+			shared = true
+			break
+		}
+		if len(v.padsFedBy(n)) > 0 {
+			shared = true
+		}
+		if shared {
+			break
+		}
+		cut = i
+	}
+	return chain[cut-1:] // cut >= 1: include the anchor for the entry hop
+}
+
+// findFreeCLB locates a free CLB near a coordinate (for the auxiliary
+// relocation circuit, which "must be implemented in a nearby free CLB"),
+// excluding the given coordinates.
+func (v *view) findFreeCLB(near fabric.Coord, exclude ...fabric.Coord) (fabric.Coord, error) {
+	v.refresh()
+	ex := map[fabric.Coord]bool{}
+	for _, c := range exclude {
+		ex[c] = true
+	}
+	best := fabric.Coord{Row: -1}
+	bestDist := 1 << 30
+	for c := range v.freeCLB {
+		if ex[c] {
+			continue
+		}
+		d := c.ManhattanDist(near)
+		if d < bestDist ||
+			(d == bestDist && (c.Row < best.Row || (c.Row == best.Row && c.Col < best.Col))) {
+			best, bestDist = c, d
+		}
+	}
+	if best.Row < 0 {
+		return fabric.Coord{}, fmt.Errorf("relocate: no free CLB available near %v", near)
+	}
+	return best, nil
+}
+
+// forwardConeExported adapts forwardCone for engine-level callers.
+func (v *view) forwardConeExported(src fabric.NodeID) ([]terminalSink, []fabric.NodeID) {
+	return v.forwardCone(src)
+}

@@ -1,0 +1,37 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func BenchmarkRouteAcrossDevice(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV200)
+	src := dev.NodeIDAt(fabric.Coord{Row: 2, Col: 2}, fabric.LocalOutX(0))
+	sink := dev.NodeIDAt(fabric.Coord{Row: 25, Col: 39}, fabric.LocalPinI(1, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRouter(dev)
+		if _, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteFanout16(b *testing.B) {
+	dev := fabric.NewDevice(fabric.XCV200)
+	src := dev.NodeIDAt(fabric.Coord{Row: 14, Col: 20}, fabric.LocalOutXQ(0))
+	var sinks []fabric.NodeID
+	for i := 0; i < 16; i++ {
+		sinks = append(sinks, dev.NodeIDAt(
+			fabric.Coord{Row: 6 + (i%4)*5, Col: 8 + (i/4)*8}, fabric.LocalPinI(i%4, i/4%4)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRouter(dev)
+		if _, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: sinks}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package route implements signal routing over the fabric's programmable
+// interconnect: an A*-based maze expansion with PathFinder-style negotiated
+// congestion, plus path delay calculation. The relocation engine reuses the
+// router to build replica connections out of free routing resources only, as
+// the paper requires ("the temporary transfer paths ... use only free
+// routing resources").
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// Net is a routing request: one source node (cell output or input pad) and
+// one or more sink nodes (cell input pins or output pads).
+type Net struct {
+	Name   string
+	Source fabric.NodeID
+	Sinks  []fabric.NodeID
+}
+
+// RoutedNet is a successfully routed net: a tree of nodes rooted at the
+// source covering every sink.
+type RoutedNet struct {
+	Net
+	// Paths maps each sink to its node sequence from source to sink
+	// (inclusive on both ends).
+	Paths map[fabric.NodeID][]fabric.NodeID
+	// Tree is the union of all path nodes.
+	Tree []fabric.NodeID
+}
+
+// DelayTo returns the propagation delay in nanoseconds from source to sink.
+func (rn *RoutedNet) DelayTo(dev *fabric.Device, sink fabric.NodeID) float64 {
+	return PathDelayNs(dev, rn.Paths[sink])
+}
+
+// PathDelayNs sums the wire delays along a node path.
+func PathDelayNs(dev *fabric.Device, path []fabric.NodeID) float64 {
+	total := 0.0
+	for _, n := range path {
+		total += nodeDelay(dev, n)
+	}
+	return total
+}
+
+func nodeDelay(dev *fabric.Device, n fabric.NodeID) float64 {
+	if _, ok := dev.PadOfNode(n); ok {
+		return fabric.WireDelayNs(fabric.KindPad)
+	}
+	_, local, ok := dev.SplitNode(n)
+	if !ok {
+		return 0
+	}
+	kind, _, _ := fabric.DecodeLocal(local)
+	return fabric.WireDelayNs(kind)
+}
+
+// Router routes sets of nets over a device with negotiated congestion.
+type Router struct {
+	dev *fabric.Device
+	// Blocked nodes are off-limits (owned by other functions on the
+	// device); the router never expands them.
+	blocked map[fabric.NodeID]bool
+	// MaxIters bounds the negotiation rounds.
+	MaxIters int
+
+	adj     [][]fabric.NodeID // lazy fanout cache, indexed by NodeID
+	history []float64         // PathFinder history cost
+	present []int             // current usage count
+}
+
+// NewRouter creates a router over a device.
+func NewRouter(dev *fabric.Device) *Router {
+	n := int(dev.PadBase()) + dev.NumPads()
+	return &Router{
+		dev:      dev,
+		blocked:  make(map[fabric.NodeID]bool),
+		MaxIters: 40,
+		adj:      make([][]fabric.NodeID, n),
+		history:  make([]float64, n),
+		present:  make([]int, n),
+	}
+}
+
+// Block marks nodes as unusable (owned by other circuitry).
+func (r *Router) Block(nodes ...fabric.NodeID) {
+	for _, n := range nodes {
+		r.blocked[n] = true
+	}
+}
+
+// Unblock releases nodes.
+func (r *Router) Unblock(nodes ...fabric.NodeID) {
+	for _, n := range nodes {
+		delete(r.blocked, n)
+	}
+}
+
+// Blocked reports whether a node is blocked.
+func (r *Router) Blocked(n fabric.NodeID) bool { return r.blocked[n] }
+
+func (r *Router) fanout(n fabric.NodeID) []fabric.NodeID {
+	if cached := r.adj[n]; cached != nil {
+		return cached
+	}
+	edges := r.dev.FanoutOf(n)
+	out := make([]fabric.NodeID, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, e.Sink)
+	}
+	if out == nil {
+		out = []fabric.NodeID{}
+	}
+	r.adj[n] = out
+	return out
+}
+
+// item is a priority-queue entry.
+type item struct {
+	node fabric.NodeID
+	cost float64
+	est  float64
+}
+
+type pq []item
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].est != p[j].est {
+		return p[i].est < p[j].est
+	}
+	return p[i].node < p[j].node // deterministic tie-break
+}
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// tileOf returns the coordinate used for the A* heuristic.
+func (r *Router) tileOf(n fabric.NodeID) fabric.Coord {
+	if pad, ok := r.dev.PadOfNode(n); ok {
+		switch pad.Side {
+		case fabric.North:
+			return fabric.Coord{Row: 0, Col: pad.Pos}
+		case fabric.South:
+			return fabric.Coord{Row: r.dev.Rows - 1, Col: pad.Pos}
+		case fabric.West:
+			return fabric.Coord{Row: pad.Pos, Col: 0}
+		default:
+			return fabric.Coord{Row: pad.Pos, Col: r.dev.Cols - 1}
+		}
+	}
+	c, _, _ := r.dev.SplitNode(n)
+	return c
+}
+
+// heuristicPerTile underestimates the cheapest per-tile delay (hex wires
+// cover six tiles for 1.1 ns), keeping A* admissible.
+const heuristicPerTile = 1.1 / 6
+
+// routeOne expands from the current net tree to one sink. presentFactor
+// scales the congestion penalty. Returns the path from a tree node to the
+// sink.
+func (r *Router) routeOne(treeNodes map[fabric.NodeID]bool, sink fabric.NodeID,
+	owner map[fabric.NodeID]int, netIdx int, presentFactor float64) ([]fabric.NodeID, error) {
+
+	// Pad sinks are reached through their candidate pre-pad wires.
+	prePad := map[fabric.NodeID]bool{}
+	target := sink
+	sinkTile := r.tileOf(sink)
+	if pad, ok := r.dev.PadOfNode(sink); ok {
+		for _, n := range r.dev.PadOutSourceNodes(pad) {
+			prePad[n] = true
+		}
+	}
+
+	prev := map[fabric.NodeID]fabric.NodeID{}
+	best := map[fabric.NodeID]float64{}
+	seeds := make([]fabric.NodeID, 0, len(treeNodes))
+	for n := range treeNodes {
+		seeds = append(seeds, n)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	var q pq
+	for _, n := range seeds {
+		q = append(q, item{node: n, cost: 0, est: float64(r.tileOf(n).ManhattanDist(sinkTile)) * heuristicPerTile})
+		best[n] = 0
+		prev[n] = fabric.InvalidNode
+	}
+	heap.Init(&q)
+
+	expand := func(cur fabric.NodeID, curCost float64, nxt fabric.NodeID) {
+		// The target itself may be "in use" (an already-driven pin being
+		// connected in PARALLEL — the relocation procedure's core move);
+		// only intermediate nodes must be free.
+		if r.blocked[nxt] && nxt != target {
+			return
+		}
+		// Nodes owned by another net cost extra (negotiation) instead of
+		// being forbidden outright.
+		penalty := 0.0
+		if o, used := owner[nxt]; used && o != netIdx {
+			penalty = presentFactor * (1 + float64(r.present[nxt]))
+		}
+		c := curCost + nodeDelay(r.dev, nxt) + r.history[nxt] + penalty + 0.01
+		if b, seen := best[nxt]; seen && b <= c {
+			return
+		}
+		best[nxt] = c
+		prev[nxt] = cur
+		est := c + float64(r.tileOf(nxt).ManhattanDist(sinkTile))*heuristicPerTile
+		heap.Push(&q, item{node: nxt, cost: c, est: est})
+	}
+
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(item)
+		if it.cost > best[it.node] {
+			continue
+		}
+		if it.node == target {
+			// Reconstruct.
+			var path []fabric.NodeID
+			for n := it.node; n != fabric.InvalidNode; n = prev[n] {
+				path = append(path, n)
+				if treeNodes[n] {
+					break
+				}
+			}
+			reverse(path)
+			return path, nil
+		}
+		if prePad[it.node] {
+			// One more hop into the pad.
+			prev[target] = it.node
+			best[target] = it.cost
+			var path []fabric.NodeID
+			for n := target; n != fabric.InvalidNode; n = prev[n] {
+				path = append(path, n)
+				if treeNodes[n] {
+					break
+				}
+			}
+			reverse(path)
+			return path, nil
+		}
+		for _, nxt := range r.fanout(it.node) {
+			expand(it.node, it.cost, nxt)
+		}
+	}
+	return nil, fmt.Errorf("route: no path to sink %d", sink)
+}
+
+func reverse(p []fabric.NodeID) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// RouteAll routes a set of nets with negotiated congestion and returns the
+// routed trees. It fails if congestion cannot be resolved in MaxIters
+// rounds.
+func (r *Router) RouteAll(nets []Net) ([]RoutedNet, error) {
+	routed := make([]RoutedNet, len(nets))
+	owner := map[fabric.NodeID]int{} // node -> net index (last routed)
+	presentFactor := 0.5
+
+	for iter := 0; iter < r.MaxIters; iter++ {
+		// (Re)route every net.
+		for i := range nets {
+			// Rip up previous route of this net.
+			if routed[i].Tree != nil {
+				for _, n := range routed[i].Tree {
+					r.present[n]--
+					if r.present[n] == 0 {
+						delete(owner, n)
+					}
+				}
+			}
+			rn, err := r.routeNet(nets[i], owner, i, presentFactor)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %s: %w", nets[i].Name, err)
+			}
+			routed[i] = *rn
+			for _, n := range rn.Tree {
+				r.present[n]++
+				owner[n] = i
+			}
+		}
+		// Check for overuse (a node carrying 2+ nets).
+		overused := 0
+		for i := range routed {
+			for _, n := range routed[i].Tree {
+				if r.present[n] > 1 {
+					overused++
+					r.history[n] += 0.5
+				}
+			}
+		}
+		if overused == 0 {
+			return routed, nil
+		}
+		presentFactor *= 1.8
+	}
+	return nil, fmt.Errorf("route: congestion unresolved after %d iterations", r.MaxIters)
+}
+
+// routeNet routes all sinks of one net as a Steiner-ish tree (each sink
+// reuses the partial tree).
+func (r *Router) routeNet(net Net, owner map[fabric.NodeID]int, netIdx int, presentFactor float64) (*RoutedNet, error) {
+	if len(net.Sinks) == 0 {
+		return nil, fmt.Errorf("net has no sinks")
+	}
+	rn := &RoutedNet{Net: net, Paths: map[fabric.NodeID][]fabric.NodeID{}}
+	tree := map[fabric.NodeID]bool{net.Source: true}
+	// Track, for each tree node, the path from source to it so sink paths
+	// can be stitched.
+	toNode := map[fabric.NodeID][]fabric.NodeID{net.Source: {net.Source}}
+	for _, sink := range net.Sinks {
+		seg, err := r.routeOne(tree, sink, owner, netIdx, presentFactor)
+		if err != nil {
+			return nil, err
+		}
+		// seg starts at an existing tree node.
+		root := seg[0]
+		full := append(append([]fabric.NodeID{}, toNode[root]...), seg[1:]...)
+		rn.Paths[sink] = full
+		for i, n := range seg {
+			if i == 0 {
+				continue
+			}
+			tree[n] = true
+			toNode[n] = full[:len(full)-(len(seg)-1-i)]
+		}
+	}
+	rn.Tree = make([]fabric.NodeID, 0, len(tree))
+	for n := range tree {
+		rn.Tree = append(rn.Tree, n)
+	}
+	return rn, nil
+}
+
+// RouteDisjoint routes nets one by one, treating every previously routed or
+// blocked node as strictly off-limits (no sharing, no negotiation). The
+// relocation engine uses it: transfer paths must use only free resources and
+// must never perturb existing nets.
+func (r *Router) RouteDisjoint(nets []Net) ([]RoutedNet, error) {
+	routed := make([]RoutedNet, 0, len(nets))
+	for i, net := range nets {
+		rn, err := r.routeNet(net, map[fabric.NodeID]int{}, i, 0)
+		if err != nil {
+			return nil, fmt.Errorf("route: net %s: %w", net.Name, err)
+		}
+		// Hard-block the new tree for subsequent nets.
+		for _, n := range rn.Tree {
+			if n != net.Source {
+				r.Block(n)
+			}
+		}
+		routed = append(routed, *rn)
+	}
+	return routed, nil
+}
+
+// Apply enables the PIPs of routed nets in the device configuration
+// (designer-level path; the relocation engine emits frame writes instead).
+func Apply(dev *fabric.Device, nets []RoutedNet) error {
+	for i := range nets {
+		if err := ApplyNet(dev, &nets[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyNet enables the PIPs along one routed net.
+func ApplyNet(dev *fabric.Device, rn *RoutedNet) error {
+	for _, path := range rn.Paths {
+		for i := 1; i < len(path); i++ {
+			if err := EnablePathPIP(dev, path[i-1], path[i]); err != nil {
+				return fmt.Errorf("net %s: %w", rn.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// EnablePathPIP turns on the PIP connecting src to dst (dst may be a tile
+// sink or an output pad).
+func EnablePathPIP(dev *fabric.Device, src, dst fabric.NodeID) error {
+	if pad, ok := dev.PadOfNode(dst); ok {
+		srcs := dev.PadOutSourceNodes(pad)
+		for b, n := range srcs {
+			if n == src {
+				pc := dev.ReadPad(pad)
+				pc.OutMask |= 1 << b
+				pc.Output = true
+				dev.WritePad(pad, pc)
+				return nil
+			}
+		}
+		return fmt.Errorf("node %d does not feed pad %v", src, pad)
+	}
+	c, local, ok := dev.SplitNode(dst)
+	if !ok || !fabric.IsLocalSink(local) {
+		return fmt.Errorf("node %d is not a configurable sink", dst)
+	}
+	bit, ok := dev.PIPBitFor(c, local, src)
+	if !ok {
+		return fmt.Errorf("no PIP from %d to %d", src, dst)
+	}
+	dev.SetPIPMask(c, local, dev.PIPMask(c, local)|1<<bit)
+	return nil
+}
+
+// DisablePathPIP turns off the PIP connecting src to dst.
+func DisablePathPIP(dev *fabric.Device, src, dst fabric.NodeID) error {
+	if pad, ok := dev.PadOfNode(dst); ok {
+		srcs := dev.PadOutSourceNodes(pad)
+		for b, n := range srcs {
+			if n == src {
+				pc := dev.ReadPad(pad)
+				pc.OutMask &^= 1 << b
+				if pc.OutMask == 0 {
+					pc.Output = false
+				}
+				dev.WritePad(pad, pc)
+				return nil
+			}
+		}
+		return fmt.Errorf("node %d does not feed pad %v", src, pad)
+	}
+	c, local, ok := dev.SplitNode(dst)
+	if !ok || !fabric.IsLocalSink(local) {
+		return fmt.Errorf("node %d is not a configurable sink", dst)
+	}
+	bit, ok := dev.PIPBitFor(c, local, src)
+	if !ok {
+		return fmt.Errorf("no PIP from %d to %d", src, dst)
+	}
+	dev.SetPIPMask(c, local, dev.PIPMask(c, local)&^(1<<bit))
+	return nil
+}

@@ -1,0 +1,288 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func dev(t *testing.T) *fabric.Device {
+	t.Helper()
+	return fabric.NewDevice(fabric.TestDevice)
+}
+
+// checkPath verifies that every hop of a path is a real PIP of the fabric.
+func checkPath(t *testing.T, d *fabric.Device, path []fabric.NodeID) {
+	t.Helper()
+	if len(path) < 2 {
+		t.Fatal("degenerate path")
+	}
+	for i := 1; i < len(path); i++ {
+		src, dst := path[i-1], path[i]
+		if pad, ok := d.PadOfNode(dst); ok {
+			found := false
+			for _, n := range d.PadOutSourceNodes(pad) {
+				if n == src {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("hop %d: %d does not feed pad %v", i, src, pad)
+			}
+			continue
+		}
+		c, local, ok := d.SplitNode(dst)
+		if !ok {
+			t.Fatalf("hop %d: bad node", i)
+		}
+		if _, ok := d.PIPBitFor(c, local, src); !ok {
+			t.Fatalf("hop %d: no PIP %d -> %d", i, src, dst)
+		}
+	}
+}
+
+func TestRouteCellToCell(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 2, Col: 2}, fabric.LocalOutX(0))
+	sink := d.NodeIDAt(fabric.Coord{Row: 2, Col: 5}, fabric.LocalPinI(1, 2))
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := nets[0].Paths[sink]
+	if path[0] != src || path[len(path)-1] != sink {
+		t.Fatal("path endpoints wrong")
+	}
+	checkPath(t, d, path)
+}
+
+func TestRouteMultiSinkSharesTree(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 4, Col: 2}, fabric.LocalOutXQ(1))
+	s1 := d.NodeIDAt(fabric.Coord{Row: 4, Col: 8}, fabric.LocalPinI(0, 0))
+	s2 := d.NodeIDAt(fabric.Coord{Row: 4, Col: 8}, fabric.LocalPinI(0, 1))
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{s1, s2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPath(t, d, nets[0].Paths[s1])
+	checkPath(t, d, nets[0].Paths[s2])
+	// The shared tree should be smaller than two independent paths.
+	if len(nets[0].Tree) >= len(nets[0].Paths[s1])+len(nets[0].Paths[s2]) {
+		t.Errorf("tree %d nodes not sharing: paths %d + %d",
+			len(nets[0].Tree), len(nets[0].Paths[s1]), len(nets[0].Paths[s2]))
+	}
+}
+
+func TestRoutePadToPin(t *testing.T) {
+	d := dev(t)
+	pad := fabric.PadRef{Side: West, Pos: 3, K: 0}
+	src := d.PadNodeID(pad)
+	sink := d.NodeIDAt(fabric.Coord{Row: 3, Col: 4}, fabric.LocalPinI(2, 1))
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "in", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPath(t, d, nets[0].Paths[sink])
+}
+
+const West = fabric.West // readability alias
+
+func TestRoutePinToPad(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 5, Col: 9}, fabric.LocalOutX(3))
+	pad := fabric.PadRef{Side: fabric.East, Pos: 5, K: 1}
+	sink := d.PadNodeID(pad)
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "out", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := nets[0].Paths[sink]
+	checkPath(t, d, path)
+	if path[len(path)-1] != sink {
+		t.Error("path does not end at pad")
+	}
+}
+
+func TestApplyEnablesPIPs(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 1, Col: 1}, fabric.LocalOutX(0))
+	sink := d.NodeIDAt(fabric.Coord{Row: 1, Col: 3}, fabric.LocalPinI(0, 0))
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(d, nets); err != nil {
+		t.Fatal(err)
+	}
+	// Walk the configuration from the sink back to the source.
+	path := nets[0].Paths[sink]
+	for i := len(path) - 1; i >= 1; i-- {
+		dst := path[i]
+		c, local, _ := d.SplitNode(dst)
+		enabled := d.EnabledSourceNodes(c, local)
+		found := false
+		for _, n := range enabled {
+			if n == path[i-1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PIP %d -> %d not enabled in config", path[i-1], dst)
+		}
+	}
+}
+
+func TestDisablePathPIP(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 1, Col: 1}, fabric.LocalOutX(0))
+	sink := d.NodeIDAt(fabric.Coord{Row: 1, Col: 2}, fabric.LocalPinI(0, 0))
+	r := NewRouter(d)
+	nets, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(d, nets)
+	path := nets[0].Paths[sink]
+	for i := 1; i < len(path); i++ {
+		if err := DisablePathPIP(d, path[i-1], path[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, local, _ := d.SplitNode(sink)
+	if n := d.EnabledSourceNodes(c, local); len(n) != 0 {
+		t.Errorf("sink still driven after disable: %v", n)
+	}
+}
+
+func TestDisjointRoutingNeverShares(t *testing.T) {
+	d := dev(t)
+	var nets []Net
+	for i := 0; i < 4; i++ {
+		src := d.NodeIDAt(fabric.Coord{Row: i, Col: 0}, fabric.LocalOutX(0))
+		sink := d.NodeIDAt(fabric.Coord{Row: i, Col: 6}, fabric.LocalPinI(0, 0))
+		nets = append(nets, Net{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}})
+	}
+	r := NewRouter(d)
+	routed, err := r.RouteDisjoint(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[fabric.NodeID]int{}
+	for i := range routed {
+		for _, n := range routed[i].Tree {
+			used[n]++
+			if used[n] > 1 {
+				t.Fatalf("node %d used by two disjoint nets", n)
+			}
+		}
+	}
+}
+
+func TestCongestionNegotiation(t *testing.T) {
+	d := dev(t)
+	// Many nets crossing the same region: negotiation must find disjoint
+	// final assignments.
+	var nets []Net
+	for i := 0; i < 6; i++ {
+		src := d.NodeIDAt(fabric.Coord{Row: 3, Col: 1}, fabric.LocalOutX(i%4))
+		if i >= 4 {
+			src = d.NodeIDAt(fabric.Coord{Row: 4, Col: 1}, fabric.LocalOutX(i%4))
+		}
+		sink := d.NodeIDAt(fabric.Coord{Row: 3 + i%2, Col: 9}, fabric.LocalPinI(i%4, i/4))
+		nets = append(nets, Net{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}})
+	}
+	r := NewRouter(d)
+	routed, err := r.RouteAll(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[fabric.NodeID]bool{}
+	for i := range routed {
+		for _, n := range routed[i].Tree {
+			if n == routed[i].Source {
+				continue
+			}
+			if used[n] {
+				t.Fatalf("node %d shared between nets after negotiation", n)
+			}
+			used[n] = true
+		}
+	}
+}
+
+func TestBlockedNodesAvoided(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 2, Col: 2}, fabric.LocalOutX(0))
+	sink := d.NodeIDAt(fabric.Coord{Row: 2, Col: 4}, fabric.LocalPinI(0, 0))
+	r := NewRouter(d)
+	// Block everything in the direct row corridor except detours.
+	for c := 2; c <= 4; c++ {
+		for i := 0; i < fabric.SinglesPerDir; i++ {
+			r.Block(d.NodeIDAt(fabric.Coord{Row: 2, Col: c}, fabric.LocalSingle(fabric.East, i)))
+		}
+	}
+	nets, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nets[0].Tree {
+		if r.Blocked(n) {
+			t.Fatal("route used a blocked node")
+		}
+	}
+}
+
+func TestRouteFailsWhenFullyBlocked(t *testing.T) {
+	d := dev(t)
+	src := d.NodeIDAt(fabric.Coord{Row: 2, Col: 2}, fabric.LocalOutX(0))
+	sink := d.NodeIDAt(fabric.Coord{Row: 2, Col: 4}, fabric.LocalPinI(0, 0))
+	r := NewRouter(d)
+	// Block every wire start on the whole device.
+	for row := 0; row < d.Rows; row++ {
+		for col := 0; col < d.Cols; col++ {
+			for dir := fabric.Dir(0); dir < 4; dir++ {
+				for i := 0; i < fabric.SinglesPerDir; i++ {
+					r.Block(d.NodeIDAt(fabric.Coord{Row: row, Col: col}, fabric.LocalSingle(dir, i)))
+				}
+			}
+		}
+	}
+	if _, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{sink}}}); err == nil {
+		t.Fatal("route succeeded through fully blocked fabric")
+	}
+}
+
+func TestPathDelayGrowsWithDistance(t *testing.T) {
+	d := dev(t)
+	r := NewRouter(d)
+	src := d.NodeIDAt(fabric.Coord{Row: 1, Col: 0}, fabric.LocalOutX(0))
+	near := d.NodeIDAt(fabric.Coord{Row: 1, Col: 1}, fabric.LocalPinI(0, 0))
+	far := d.NodeIDAt(fabric.Coord{Row: 6, Col: 11}, fabric.LocalPinI(0, 0))
+	nets, err := r.RouteAll([]Net{
+		{Name: "near", Source: src, Sinks: []fabric.NodeID{near}},
+		{Name: "far", Source: d.NodeIDAt(fabric.Coord{Row: 1, Col: 0}, fabric.LocalOutX(1)), Sinks: []fabric.NodeID{far}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dNear := nets[0].DelayTo(d, near)
+	dFar := nets[1].DelayTo(d, far)
+	if dNear <= 0 || dFar <= dNear {
+		t.Errorf("delays near=%.2f far=%.2f", dNear, dFar)
+	}
+}
+
+func TestRouteNetNoSinks(t *testing.T) {
+	d := dev(t)
+	r := NewRouter(d)
+	src := d.NodeIDAt(fabric.Coord{Row: 0, Col: 0}, fabric.LocalOutX(0))
+	if _, err := r.RouteAll([]Net{{Name: "n", Source: src}}); err == nil {
+		t.Error("net with no sinks accepted")
+	}
+}

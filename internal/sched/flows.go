@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/workload"
+)
+
+// FlowConfig parameterises the Fig. 1 application-flow experiment: several
+// applications share the device; while function i of an application runs,
+// the manager tries to configure function i+1 in advance ("a new function
+// may be set up in its place during the interval rt, in order to be
+// available when required by the application flow").
+type FlowConfig struct {
+	Rows, Cols     int
+	Policy         area.Policy
+	Planner        rearrange.Planner
+	RelocSecPerCLB float64
+	// ConfigSecPerCLB is the partial-reconfiguration time to load one CLB
+	// of a new function.
+	ConfigSecPerCLB float64
+	// PrefetchLead is how early before the current function's end the
+	// manager starts to set up the next one.
+	PrefetchLead float64
+	// RearrangeOnPrefetch lets the planner run during prefetch too.
+	// Default off: eager rearrangement holds double space early and can
+	// increase contention; on-demand rearrangement (when an application
+	// is actually blocked) is the profitable regime. The ablation bench
+	// compares both.
+	RearrangeOnPrefetch bool
+}
+
+// FlowMetrics reports the Fig. 1 outcome: with enough space, swaps hide
+// behind execution and applications see zero overhead; as parallelism (the
+// number of co-resident applications) grows, lack of space delays
+// reconfiguration and stalls appear ("an increase in the degree of
+// parallelism may retard the reconfiguration of incoming functions, due to
+// lack of space in the FPGA").
+type FlowMetrics struct {
+	Apps            int
+	FunctionsRun    int
+	TotalStallSec   float64 // time applications spent waiting for the next function
+	StalledSwaps    int     // transitions that could not be fully hidden
+	HiddenSwaps     int     // transitions fully overlapped with execution
+	RearrangedSwaps int     // transitions rescued by a rearrangement
+	AbortedApps     int     // applications that could never continue
+	MakespanSec     float64
+	MeanUtilisation float64
+}
+
+// flowState tracks one application's progress.
+type flowState struct {
+	app       workload.App
+	idx       int     // index of the function currently running
+	curID     int     // allocation id of the running function
+	curEnd    float64 // completion time of the running function
+	nextID    int     // allocation id of the prefetched next function
+	nextFrom  float64 // when the prefetched function is configured
+	waiting   bool    // finished current fn, blocked on space for the next
+	waitSince float64 // when the app became blocked
+	done      bool
+}
+
+// flowSim carries the experiment state.
+type flowSim struct {
+	cfg    FlowConfig
+	m      *area.Manager
+	states []*flowState
+	mets   FlowMetrics
+	now    float64
+	util   float64
+}
+
+// RunFlows executes the application chains until all complete (or deadlock).
+func RunFlows(cfg FlowConfig, apps []workload.App) FlowMetrics {
+	if cfg.Planner == nil {
+		cfg.Planner = rearrange.None{}
+	}
+	if cfg.RelocSecPerCLB == 0 {
+		cfg.RelocSecPerCLB = 0.0226
+	}
+	if cfg.ConfigSecPerCLB == 0 {
+		cfg.ConfigSecPerCLB = 0.002
+	}
+	s := &flowSim{cfg: cfg, m: area.NewManager(cfg.Rows, cfg.Cols)}
+	s.mets.Apps = len(apps)
+	for i := range apps {
+		st := &flowState{app: apps[i], idx: -1, waiting: true}
+		s.states = append(s.states, st)
+		s.tryStartNext(st) // function 0
+	}
+	s.loop()
+	s.mets.MakespanSec = s.now
+	if s.now > 0 {
+		s.mets.MeanUtilisation = s.util / s.now
+	}
+	return s.mets
+}
+
+func (s *flowSim) loop() {
+	for {
+		// Earliest running completion.
+		next := -1
+		for i, st := range s.states {
+			if st.done || st.waiting {
+				continue
+			}
+			if next == -1 || st.curEnd < s.states[next].curEnd {
+				next = i
+			}
+		}
+		if next == -1 {
+			// Nothing running: any waiting apps are deadlocked.
+			for _, st := range s.states {
+				if !st.done && st.waiting {
+					st.done = true
+					s.mets.AbortedApps++
+				}
+			}
+			return
+		}
+		st := s.states[next]
+
+		// Prefetch inside the lead window for the app about to finish.
+		s.prefetch(st, st.curEnd-s.cfg.PrefetchLead)
+
+		// Advance time to the completion.
+		s.util += s.m.Utilisation() * (st.curEnd - s.now)
+		s.now = st.curEnd
+		s.m.Free(st.curID)
+		st.curID = 0
+		s.mets.FunctionsRun++
+
+		if st.idx+1 >= len(st.app.Functions) {
+			st.done = true
+		} else if st.nextID != 0 {
+			// Swap in the prefetched function.
+			st.idx++
+			f := st.app.Functions[st.idx]
+			start := s.now
+			if st.nextFrom > start {
+				start = st.nextFrom
+				s.mets.StalledSwaps++
+				s.mets.TotalStallSec += st.nextFrom - s.now
+			} else {
+				s.mets.HiddenSwaps++
+			}
+			st.curID = st.nextID
+			st.nextID = 0
+			st.curEnd = start + f.Duration
+		} else {
+			st.waiting = true
+			st.waitSince = s.now
+			s.tryStartNext(st)
+		}
+
+		// A departure may unblock waiting apps.
+		for _, other := range s.states {
+			if !other.done && other.waiting {
+				s.tryStartNext(other)
+			}
+		}
+	}
+}
+
+// tryStartNext attempts to place and start the waiting app's next function.
+func (s *flowSim) tryStartNext(st *flowState) {
+	f := st.app.Functions[st.idx+1]
+	start, id, rearranged, ok := s.placeNow(f)
+	if !ok {
+		return // stays waiting
+	}
+	if rearranged {
+		s.mets.RearrangedSwaps++
+	}
+	if st.idx >= 0 { // not the initial configuration
+		s.mets.StalledSwaps++
+		// Stall covers the whole blocked interval plus the placement
+		// latency (rearrangement + configuration).
+		s.mets.TotalStallSec += start - st.waitSince
+	}
+	st.idx++
+	st.waiting = false
+	st.curID = id
+	st.curEnd = start + f.Duration
+}
+
+// prefetch tries to configure the next function ahead of time.
+func (s *flowSim) prefetch(st *flowState, atTime float64) {
+	if st.done || st.waiting || st.nextID != 0 || st.idx+1 >= len(st.app.Functions) {
+		return
+	}
+	if atTime < s.now {
+		atTime = s.now
+	}
+	f := st.app.Functions[st.idx+1]
+	configTime := float64(f.H*f.W) * s.cfg.ConfigSecPerCLB
+	if id, _, ok := s.m.Allocate(f.H, f.W, s.cfg.Policy); ok {
+		st.nextID = id
+		st.nextFrom = atTime + configTime
+		return
+	}
+	if !s.cfg.RearrangeOnPrefetch {
+		return
+	}
+	plan, ok := s.cfg.Planner.Plan(s.m, f.H, f.W)
+	if !ok {
+		return
+	}
+	if err := rearrange.Execute(s.m, plan); err != nil {
+		return
+	}
+	id, err := s.m.AllocateAt(plan.Target)
+	if err != nil {
+		return
+	}
+	if len(plan.Steps) > 0 {
+		s.mets.RearrangedSwaps++
+	}
+	rt := float64(plan.CostCLBs) * s.cfg.RelocSecPerCLB
+	st.nextID = id
+	st.nextFrom = atTime + rt + configTime
+}
+
+// placeNow allocates a function at the current time (with rearrangement if
+// needed) and returns when it can start running.
+func (s *flowSim) placeNow(f workload.Fn) (start float64, id int, rearranged, ok bool) {
+	configTime := float64(f.H*f.W) * s.cfg.ConfigSecPerCLB
+	if id, _, ok := s.m.Allocate(f.H, f.W, s.cfg.Policy); ok {
+		return s.now + configTime, id, false, true
+	}
+	plan, planOK := s.cfg.Planner.Plan(s.m, f.H, f.W)
+	if !planOK {
+		return 0, 0, false, false
+	}
+	if err := rearrange.Execute(s.m, plan); err != nil {
+		return 0, 0, false, false
+	}
+	id, err := s.m.AllocateAt(plan.Target)
+	if err != nil {
+		return 0, 0, false, false
+	}
+	rt := float64(plan.CostCLBs) * s.cfg.RelocSecPerCLB
+	return s.now + rt + configTime, id, len(plan.Steps) > 0, true
+}

@@ -1,0 +1,256 @@
+// Package sched is the on-line run-time manager of the paper's Fig. 1
+// world: tasks (hardware functions) arrive, are placed into the FPGA logic
+// space if a contiguous region exists, and otherwise trigger an on-line
+// rearrangement executed by dynamic relocation — transparently to the tasks
+// already running, which is the paper's core claim ("without generating any
+// time overhead to the running applications").
+package sched
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/workload"
+)
+
+// Config parameterises a scheduling run.
+type Config struct {
+	Rows, Cols int
+	Policy     area.Policy
+	Planner    rearrange.Planner
+	// RelocSecPerCLB is the wall-clock cost of relocating one CLB (the
+	// paper: ~22.6 ms per CLB over Boundary-Scan at 20 MHz). Rearrangement
+	// delays the INCOMING task by plan cost x this figure; running tasks
+	// are unaffected.
+	RelocSecPerCLB float64
+	// MaxWait rejects a task that cannot start within this bound of its
+	// arrival (0 = wait forever).
+	MaxWait float64
+}
+
+// Metrics summarises a run.
+type Metrics struct {
+	Submitted            int
+	Placed               int     // placed immediately
+	PlacedAfterRearrange int     // placed thanks to a rearrangement
+	PlacedAfterWait      int     // placed later from the queue
+	Rejected             int     // exceeded MaxWait
+	MeanWaitSec          float64 // over all placed tasks
+	MaxWaitSec           float64
+	RelocatedCLBs        int
+	RearrangeSeconds     float64
+	MeanFragmentation    float64 // sampled at every event
+	PeakFragmentation    float64
+	MeanUtilisation      float64 // time-weighted
+	AllocationRate       float64 // placed / submitted
+	ImmediateRate        float64 // placed immediately / submitted
+}
+
+// event kinds
+type evKind uint8
+
+const (
+	evArrival evKind = iota
+	evDeparture
+)
+
+type event struct {
+	t    float64
+	kind evKind
+	task workload.Task
+	id   int // allocation id for departures
+}
+
+type evHeap []event
+
+func (h evHeap) Len() int            { return len(h) }
+func (h evHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h evHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *evHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *evHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator runs task streams against the area manager.
+type Simulator struct {
+	cfg Config
+	m   *area.Manager
+
+	events evHeap
+	queue  []workload.Task
+
+	now        float64
+	lastSample float64
+	utilInt    float64 // integral of utilisation over time
+	fragSum    float64
+	fragN      int
+
+	metrics Metrics
+	waits   []float64
+}
+
+// NewSimulator builds a simulator.
+func NewSimulator(cfg Config) *Simulator {
+	if cfg.Planner == nil {
+		cfg.Planner = rearrange.None{}
+	}
+	if cfg.RelocSecPerCLB == 0 {
+		cfg.RelocSecPerCLB = 0.0226 // paper's per-CLB relocation time
+	}
+	return &Simulator{cfg: cfg, m: area.NewManager(cfg.Rows, cfg.Cols)}
+}
+
+// Manager exposes the underlying area manager (for inspection).
+func (s *Simulator) Manager() *area.Manager { return s.m }
+
+// Run processes a task stream to completion and returns the metrics.
+func (s *Simulator) Run(tasks []workload.Task) Metrics {
+	s.metrics = Metrics{Submitted: len(tasks)}
+	sorted := append([]workload.Task{}, tasks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
+	for _, t := range sorted {
+		heap.Push(&s.events, event{t: t.Arrival, kind: evArrival, task: t})
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.advance(e.t)
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.task)
+		case evDeparture:
+			s.m.Free(e.id)
+			s.drainQueue()
+		}
+		s.sample()
+	}
+	s.finish()
+	return s.metrics
+}
+
+func (s *Simulator) advance(t float64) {
+	if t > s.now {
+		s.utilInt += s.m.Utilisation() * (t - s.now)
+		s.now = t
+	}
+}
+
+func (s *Simulator) sample() {
+	f := s.m.Fragmentation()
+	s.fragSum += f
+	s.fragN++
+	if f > s.metrics.PeakFragmentation {
+		s.metrics.PeakFragmentation = f
+	}
+}
+
+// arrive attempts placement; on failure tries rearrangement; otherwise
+// queues the task.
+func (s *Simulator) arrive(t workload.Task) {
+	if s.place(t, false) {
+		return
+	}
+	s.queue = append(s.queue, t)
+	s.expireQueue()
+}
+
+// place tries to start a task now; fromQueue marks tasks that waited.
+func (s *Simulator) place(t workload.Task, fromQueue bool) bool {
+	if id, _, ok := s.m.Allocate(t.H, t.W, s.cfg.Policy); ok {
+		s.start(t, id, 0, fromQueue, false)
+		return true
+	}
+	plan, ok := s.cfg.Planner.Plan(s.m, t.H, t.W)
+	if !ok {
+		return false
+	}
+	if err := rearrange.Execute(s.m, plan); err != nil {
+		return false
+	}
+	id, err := s.m.AllocateAt(plan.Target)
+	if err != nil {
+		return false
+	}
+	rt := float64(plan.CostCLBs) * s.cfg.RelocSecPerCLB
+	s.metrics.RelocatedCLBs += plan.CostCLBs
+	s.metrics.RearrangeSeconds += rt
+	s.start(t, id, rt, fromQueue, len(plan.Steps) > 0)
+	return true
+}
+
+func (s *Simulator) start(t workload.Task, id int, extraDelay float64, fromQueue, rearranged bool) {
+	wait := s.now - t.Arrival + extraDelay
+	s.waits = append(s.waits, wait)
+	if wait > s.metrics.MaxWaitSec {
+		s.metrics.MaxWaitSec = wait
+	}
+	switch {
+	case rearranged:
+		s.metrics.PlacedAfterRearrange++
+	case fromQueue:
+		s.metrics.PlacedAfterWait++
+	default:
+		s.metrics.Placed++
+	}
+	heap.Push(&s.events, event{t: s.now + extraDelay + t.Service, kind: evDeparture, id: id})
+}
+
+// drainQueue retries queued tasks FCFS after a departure.
+func (s *Simulator) drainQueue() {
+	s.expireQueue()
+	var remaining []workload.Task
+	for i, t := range s.queue {
+		if s.place(t, true) {
+			continue
+		}
+		// FCFS: once one fails, keep order for the rest.
+		remaining = append(remaining, s.queue[i:]...)
+		break
+	}
+	s.queue = remaining
+}
+
+// expireQueue rejects tasks whose waiting bound passed.
+func (s *Simulator) expireQueue() {
+	if s.cfg.MaxWait <= 0 {
+		return
+	}
+	kept := s.queue[:0]
+	for _, t := range s.queue {
+		if s.now-t.Arrival > s.cfg.MaxWait {
+			s.metrics.Rejected++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	s.queue = kept
+}
+
+func (s *Simulator) finish() {
+	// Tasks still queued when the stream ends count as rejected.
+	s.metrics.Rejected += len(s.queue)
+	s.queue = nil
+	placed := s.metrics.Placed + s.metrics.PlacedAfterRearrange + s.metrics.PlacedAfterWait
+	if len(s.waits) > 0 {
+		sum := 0.0
+		for _, w := range s.waits {
+			sum += w
+		}
+		s.metrics.MeanWaitSec = sum / float64(len(s.waits))
+	}
+	if s.fragN > 0 {
+		s.metrics.MeanFragmentation = s.fragSum / float64(s.fragN)
+	}
+	if s.now > 0 {
+		s.metrics.MeanUtilisation = s.utilInt / s.now
+	}
+	if s.metrics.Submitted > 0 {
+		s.metrics.AllocationRate = float64(placed) / float64(s.metrics.Submitted)
+		s.metrics.ImmediateRate = float64(s.metrics.Placed) / float64(s.metrics.Submitted)
+	}
+}

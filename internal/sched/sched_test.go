@@ -1,0 +1,191 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/workload"
+)
+
+func stream(seed uint64, n int, load float64) []workload.Task {
+	return workload.Stream(workload.Config{
+		Seed:             seed,
+		N:                n,
+		MeanInterarrival: 1.0 / load,
+		MeanService:      4.0,
+		MinSide:          2,
+		MaxSide:          6,
+		Dist:             workload.Bimodal,
+	})
+}
+
+func TestAllTasksServedUnderLightLoad(t *testing.T) {
+	s := NewSimulator(Config{Rows: 16, Cols: 16, Policy: area.FirstFit})
+	m := s.Run(stream(1, 100, 0.2))
+	if m.Submitted != 100 {
+		t.Fatalf("submitted = %d", m.Submitted)
+	}
+	placed := m.Placed + m.PlacedAfterRearrange + m.PlacedAfterWait
+	if placed+m.Rejected != m.Submitted {
+		t.Errorf("accounting broken: %+v", m)
+	}
+	if m.AllocationRate < 0.99 {
+		t.Errorf("light load allocation rate = %f", m.AllocationRate)
+	}
+}
+
+func TestRearrangementImprovesAllocation(t *testing.T) {
+	// The paper's central quantitative claim (via [5]): on-line
+	// rearrangement increases the allocation rate and reduces waiting.
+	tasks := stream(7, 250, 1.2)
+	run := func(p rearrange.Planner) Metrics {
+		s := NewSimulator(Config{
+			Rows: 12, Cols: 12, Policy: area.FirstFit,
+			Planner: p, MaxWait: 10,
+		})
+		return s.Run(tasks)
+	}
+	none := run(rearrange.None{})
+	repack := run(rearrange.LocalRepacking{})
+	if repack.AllocationRate <= none.AllocationRate {
+		t.Errorf("allocation rate: repacking %.3f <= none %.3f",
+			repack.AllocationRate, none.AllocationRate)
+	}
+	if repack.RelocatedCLBs == 0 {
+		t.Error("repacking run never relocated anything")
+	}
+	if none.RelocatedCLBs != 0 {
+		t.Error("baseline run relocated CLBs")
+	}
+}
+
+func TestFragmentationTrackedAndBounded(t *testing.T) {
+	s := NewSimulator(Config{Rows: 12, Cols: 12, Policy: area.FirstFit, MaxWait: 5})
+	m := s.Run(stream(3, 200, 1.0))
+	if m.MeanFragmentation < 0 || m.MeanFragmentation > 1 {
+		t.Errorf("mean fragmentation = %f", m.MeanFragmentation)
+	}
+	if m.PeakFragmentation < m.MeanFragmentation {
+		t.Error("peak < mean")
+	}
+	if m.MeanUtilisation <= 0 || m.MeanUtilisation > 1 {
+		t.Errorf("utilisation = %f", m.MeanUtilisation)
+	}
+}
+
+func TestRejectionUnderOverload(t *testing.T) {
+	// Saturating load with a short waiting bound must reject tasks.
+	s := NewSimulator(Config{Rows: 8, Cols: 8, Policy: area.FirstFit, MaxWait: 1})
+	m := s.Run(stream(5, 200, 5.0))
+	if m.Rejected == 0 {
+		t.Error("overload produced no rejections")
+	}
+	if m.AllocationRate >= 1.0 {
+		t.Error("allocation rate should drop under overload")
+	}
+}
+
+func TestPolicyComparison(t *testing.T) {
+	// All three allocation policies must produce valid runs.
+	tasks := stream(11, 150, 1.0)
+	for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {
+		s := NewSimulator(Config{Rows: 12, Cols: 12, Policy: p, MaxWait: 10})
+		m := s.Run(tasks)
+		placed := m.Placed + m.PlacedAfterRearrange + m.PlacedAfterWait
+		if placed+m.Rejected != m.Submitted {
+			t.Errorf("%v: accounting broken", p)
+		}
+	}
+}
+
+func TestFlowsZeroOverheadWithSpace(t *testing.T) {
+	// Fig. 1's happy case: few applications, plenty of space, prefetch
+	// hides every swap.
+	apps := workload.Flows(workload.FlowConfig{
+		Seed: 2, Apps: 2, FnsPerApp: 5, MinSide: 2, MaxSide: 3, MeanDuration: 10,
+	})
+	m := RunFlows(FlowConfig{
+		Rows: 20, Cols: 20, Policy: area.FirstFit,
+		PrefetchLead: 5,
+	}, apps)
+	if m.FunctionsRun != 10 {
+		t.Fatalf("functions run = %d", m.FunctionsRun)
+	}
+	if m.HiddenSwaps == 0 {
+		t.Error("no swaps were hidden despite ample space")
+	}
+	if m.TotalStallSec > 0.5 {
+		t.Errorf("stall = %f s with ample space", m.TotalStallSec)
+	}
+	if m.AbortedApps != 0 {
+		t.Error("apps aborted")
+	}
+}
+
+func TestFlowsParallelismCausesDelays(t *testing.T) {
+	// Fig. 1's caption: "an increase in the degree of parallelism may
+	// retard the reconfiguration of incoming functions, due to lack of
+	// space in the FPGA".
+	gen := func(n int) []workload.App {
+		return workload.Flows(workload.FlowConfig{
+			Seed: 4, Apps: n, FnsPerApp: 6, MinSide: 4, MaxSide: 7, MeanDuration: 8,
+		})
+	}
+	run := func(n int) FlowMetrics {
+		return RunFlows(FlowConfig{
+			Rows: 14, Cols: 14, Policy: area.FirstFit,
+			PrefetchLead: 4,
+		}, gen(n))
+	}
+	low := run(2)
+	high := run(6)
+	if high.TotalStallSec <= low.TotalStallSec {
+		t.Errorf("stall did not grow with parallelism: 2 apps %.2f s, 6 apps %.2f s",
+			low.TotalStallSec, high.TotalStallSec)
+	}
+}
+
+func TestFlowsRearrangementReducesStalls(t *testing.T) {
+	// Long-running functions make waiting for departures expensive; a
+	// sub-second rearrangement beats tens of seconds of blocking. (When
+	// waiting is cheap the trade flips — see the Fig. 1 ablation bench.)
+	apps := workload.Flows(workload.FlowConfig{
+		Seed: 13, Apps: 6, FnsPerApp: 6, MinSide: 4, MaxSide: 8, MeanDuration: 60,
+	})
+	run := func(p rearrange.Planner) FlowMetrics {
+		return RunFlows(FlowConfig{
+			Rows: 13, Cols: 13, Policy: area.FirstFit,
+			Planner: p, PrefetchLead: 4,
+		}, apps)
+	}
+	none := run(rearrange.None{})
+	repack := run(rearrange.LocalRepacking{})
+	if repack.TotalStallSec >= none.TotalStallSec {
+		t.Errorf("rearrangement did not reduce stalls: none %.1f s, repack %.1f s",
+			none.TotalStallSec, repack.TotalStallSec)
+	}
+	if repack.RearrangedSwaps == 0 {
+		t.Error("no rearrangements recorded")
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := stream(42, 50, 1.0)
+	b := stream(42, 50, 1.0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("workload generation not deterministic")
+		}
+	}
+	c := stream(43, 50, 1.0)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}

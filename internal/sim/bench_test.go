@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+func benchDesign(b *testing.B, name string) *sim.LockStep {
+	b.Helper()
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl, err := itc99.Get(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	region, err := place.AutoRegion(dev, nl, 2, 2, 0.35)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := place.Place(dev, nl, place.Options{Region: region})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ls
+}
+
+func BenchmarkLockStepCycleB03(b *testing.B) {
+	ls := benchDesign(b, "b03")
+	in := make([]bool, len(ls.Design.NL.Inputs()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in[0] = i&1 == 1
+		if err := ls.Step(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFabricRederiveAfterFrameWrite(b *testing.B) {
+	ls := benchDesign(b, "b02")
+	dev := ls.Design.Dev
+	major := dev.MajorOfArrayCol(ls.Design.Region.Col)
+	fr, err := dev.ReadFrame(major, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dev.WriteFrame(major, 0, fr); err != nil {
+			b.Fatal(err)
+		}
+		if err := ls.Fab.Settle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"repro/internal/fabric"
+)
+
+// driver is a terminal signal source reached by walking the routing
+// configuration backwards from a sink: a cell output or an input pad.
+type driver struct {
+	isPad bool
+	pad   fabric.PadRef
+	cell  fabric.CellRef
+	regd  bool // cell XQ output (vs combinational X)
+}
+
+// pinKey identifies one resolvable input point.
+type pinKey struct {
+	tile  fabric.Coord
+	local int // pin local id
+}
+
+// derived is the connectivity/configuration view extracted from the device,
+// rebuilt incrementally when configuration generations move.
+type derived struct {
+	dev *fabric.Device
+
+	gen    uint64
+	padGen uint64
+
+	// cellCfg caches decoded cell configurations per tile.
+	cellCfg map[fabric.Coord][4]fabric.CellConfig
+	tileGen map[fabric.Coord]uint64
+
+	// pinDrivers caches, per pin, the terminal drivers and the set of
+	// tiles whose configuration the walk depended on.
+	pinDrivers map[pinKey][]driver
+	pinDeps    map[pinKey]map[fabric.Coord]uint64
+
+	// padDrivers caches output-pad driver lists.
+	padDrivers map[fabric.PadRef][]driver
+	padDeps    map[fabric.PadRef]map[fabric.Coord]uint64
+}
+
+func newDerived(dev *fabric.Device) *derived {
+	return &derived{
+		dev:        dev,
+		cellCfg:    map[fabric.Coord][4]fabric.CellConfig{},
+		tileGen:    map[fabric.Coord]uint64{},
+		pinDrivers: map[pinKey][]driver{},
+		pinDeps:    map[pinKey]map[fabric.Coord]uint64{},
+		padDrivers: map[fabric.PadRef][]driver{},
+		padDeps:    map[fabric.PadRef]map[fabric.Coord]uint64{},
+	}
+}
+
+// refresh invalidates caches whose inputs changed.
+func (dv *derived) refresh() {
+	gen := dv.dev.Generation()
+	if gen == dv.gen {
+		return
+	}
+	dv.gen = gen
+	// Drop cell configs of stale tiles.
+	for c, g := range dv.tileGen {
+		if dv.dev.TileGeneration(c) != g {
+			delete(dv.cellCfg, c)
+			delete(dv.tileGen, c)
+		}
+	}
+	// Drop pin walks that crossed stale tiles (or depend on pads).
+	padGen := dv.dev.PadGeneration()
+	padsMoved := padGen != dv.padGen
+	dv.padGen = padGen
+	for k, deps := range dv.pinDeps {
+		stale := false
+		for c, g := range deps {
+			if dv.dev.TileGeneration(c) != g {
+				stale = true
+				break
+			}
+		}
+		if stale || padsMoved {
+			delete(dv.pinDrivers, k)
+			delete(dv.pinDeps, k)
+		}
+	}
+	for p, deps := range dv.padDeps {
+		stale := padsMoved
+		for c, g := range deps {
+			if dv.dev.TileGeneration(c) != g {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			delete(dv.padDrivers, p)
+			delete(dv.padDeps, p)
+		}
+	}
+}
+
+// cell returns the decoded configuration of a cell.
+func (dv *derived) cell(ref fabric.CellRef) fabric.CellConfig {
+	cfgs, ok := dv.cellCfg[ref.Coord]
+	if !ok {
+		for i := 0; i < fabric.CellsPerCLB; i++ {
+			cfgs[i] = dv.dev.ReadCell(fabric.CellRef{Coord: ref.Coord, Cell: i})
+		}
+		dv.cellCfg[ref.Coord] = cfgs
+		dv.tileGen[ref.Coord] = dv.dev.TileGeneration(ref.Coord)
+	}
+	return cfgs[ref.Cell]
+}
+
+// drivers returns the terminal drivers of a pin, walking the routing
+// configuration backwards through enabled PIPs.
+func (dv *derived) drivers(k pinKey) []driver {
+	if d, ok := dv.pinDrivers[k]; ok {
+		return d
+	}
+	deps := map[fabric.Coord]uint64{}
+	seen := map[fabric.NodeID]bool{}
+	var out []driver
+	dv.walk(dv.dev.NodeIDAt(k.tile, k.local), seen, deps, &out)
+	dv.pinDrivers[k] = out
+	dv.pinDeps[k] = deps
+	return out
+}
+
+// padOutDrivers returns the terminal drivers of an output pad.
+func (dv *derived) padOutDrivers(p fabric.PadRef) []driver {
+	if d, ok := dv.padDrivers[p]; ok {
+		return d
+	}
+	deps := map[fabric.Coord]uint64{}
+	seen := map[fabric.NodeID]bool{}
+	var out []driver
+	for _, src := range dv.dev.PadEnabledSources(p) {
+		dv.walk(src, seen, deps, &out)
+	}
+	dv.padDrivers[p] = out
+	dv.padDeps[p] = deps
+	return out
+}
+
+// walk resolves a node to terminal drivers, recursing through wire sinks.
+// Routing loops terminate via the seen set (a loop with no driver floats).
+func (dv *derived) walk(n fabric.NodeID, seen map[fabric.NodeID]bool, deps map[fabric.Coord]uint64, out *[]driver) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	if pad, ok := dv.dev.PadOfNode(n); ok {
+		*out = append(*out, driver{isPad: true, pad: pad})
+		return
+	}
+	c, local, ok := dv.dev.SplitNode(n)
+	if !ok {
+		return
+	}
+	kind, _, idx := fabric.DecodeLocal(local)
+	switch kind {
+	case fabric.KindOutX:
+		*out = append(*out, driver{cell: fabric.CellRef{Coord: c, Cell: idx}})
+		return
+	case fabric.KindOutXQ:
+		*out = append(*out, driver{cell: fabric.CellRef{Coord: c, Cell: idx}, regd: true})
+		return
+	}
+	// A wire start or pin: recurse through its enabled PIP sources.
+	deps[c] = dv.dev.TileGeneration(c)
+	for _, src := range dv.dev.EnabledSourceNodes(c, local) {
+		dv.walk(src, seen, deps, out)
+	}
+}
+
+// activeCells scans the device for configured cells. The scan is cheap
+// enough to repeat whenever the configuration generation moves (only stale
+// tiles are re-read thanks to the cellCfg cache).
+func (dv *derived) activeCells() []fabric.CellRef {
+	var out []fabric.CellRef
+	for row := 0; row < dv.dev.Rows; row++ {
+		for col := 0; col < dv.dev.Cols; col++ {
+			c := fabric.Coord{Row: row, Col: col}
+			for i := 0; i < fabric.CellsPerCLB; i++ {
+				ref := fabric.CellRef{Coord: c, Cell: i}
+				if dv.cell(ref).InUse() {
+					out = append(out, ref)
+				}
+			}
+		}
+	}
+	return out
+}

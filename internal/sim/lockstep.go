@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// LockStep runs a placed design on the fabric simulator in lock-step with
+// the golden netlist simulator and compares primary outputs every cycle.
+// This is the reproduction of the paper's experimental check: "No loss of
+// information or functional disturbance was observed during the execution of
+// these experiments" — here it is asserted, not observed.
+type LockStep struct {
+	Design *place.Design
+	Golden *netlist.Sim
+	Fab    *FabricSim
+
+	inputIDs  []netlist.ID
+	outputIDs []netlist.ID
+	Cycles    int
+}
+
+// NewLockStep builds the harness for a placed design.
+func NewLockStep(d *place.Design) (*LockStep, error) {
+	golden, err := netlist.NewSim(d.NL)
+	if err != nil {
+		return nil, err
+	}
+	ls := &LockStep{
+		Design:    d,
+		Golden:    golden,
+		Fab:       NewFabricSim(d.Dev),
+		inputIDs:  d.NL.Inputs(),
+		outputIDs: d.NL.Outputs(),
+	}
+	return ls, nil
+}
+
+// MismatchError reports a divergence between golden model and fabric.
+type MismatchError struct {
+	Cycle  int
+	Output string
+	Golden bool
+	Fabric Val
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("sim: cycle %d: output %q fabric=%v golden=%v",
+		e.Cycle, e.Output, e.Fabric, e.Golden)
+}
+
+// Step drives one clock cycle on both models and compares all primary
+// outputs.
+func (ls *LockStep) Step(inputs []bool) error {
+	if len(inputs) != len(ls.inputIDs) {
+		return fmt.Errorf("sim: %d inputs provided, design has %d", len(inputs), len(ls.inputIDs))
+	}
+	padIn := make(map[fabric.PadRef]bool, len(inputs))
+	for i, id := range ls.inputIDs {
+		padIn[ls.Design.PadOf[id]] = inputs[i]
+	}
+	gout, err := ls.Golden.Step(inputs)
+	if err != nil {
+		return err
+	}
+	if err := ls.Fab.Step(padIn); err != nil {
+		return err
+	}
+	ls.Cycles++
+	return ls.compareOutputs(gout)
+}
+
+func (ls *LockStep) compareOutputs(gout []bool) error {
+	for i, id := range ls.outputIDs {
+		fv := ls.Fab.PadValue(ls.Design.PadOf[id])
+		if !fv.Definite() || fv.Bool() != gout[i] {
+			return &MismatchError{
+				Cycle:  ls.Cycles,
+				Output: ls.Design.NL.Nodes[id].Name,
+				Golden: gout[i],
+				Fabric: fv,
+			}
+		}
+	}
+	return nil
+}
+
+// Settle propagates both models without a clock edge (asynchronous designs)
+// and compares outputs.
+func (ls *LockStep) Settle(inputs []bool) error {
+	if err := ls.Golden.SetInputs(inputs); err != nil {
+		return err
+	}
+	if err := ls.Golden.Settle(); err != nil {
+		return err
+	}
+	for i, id := range ls.inputIDs {
+		ls.Fab.SetPadInput(ls.Design.PadOf[id], inputs[i])
+	}
+	if err := ls.Fab.Settle(); err != nil {
+		return err
+	}
+	gout := ls.Golden.Outputs()
+	return ls.compareOutputs(gout)
+}
+
+// CheckState compares every storage element's state between the golden model
+// and the fabric — the paper's "correct transfer of state information".
+func (ls *LockStep) CheckState() error {
+	for id, nd := range ls.Design.NL.Nodes {
+		switch nd.Kind {
+		case netlist.KindFF, netlist.KindLatch:
+			ref, ok := ls.Design.CellOf[netlist.ID(id)]
+			if !ok {
+				return fmt.Errorf("sim: state element %s has no cell", nd.Name)
+			}
+			fv := ls.Fab.CellQ(ref)
+			gv := ls.Golden.State(netlist.ID(id))
+			if !fv.Definite() || fv.Bool() != gv {
+				return fmt.Errorf("sim: state of %s: fabric=%v golden=%v", nd.Name, fv, gv)
+			}
+		case netlist.KindRAM:
+			ref := ls.Design.CellOf[netlist.ID(id)]
+			want := ls.Golden.RAMContents(netlist.ID(id))
+			got := ls.Fab.ram[ref]
+			for bit := 0; bit < 16; bit++ {
+				fv := got[bit]
+				gv := want>>bit&1 == 1
+				if !fv.Definite() || fv.Bool() != gv {
+					return fmt.Errorf("sim: RAM %s bit %d: fabric=%v golden=%v", nd.Name, bit, fv, gv)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// OutputSnapshot captures the current fabric output values.
+func (ls *LockStep) OutputSnapshot() []Val {
+	out := make([]Val, len(ls.outputIDs))
+	for i, id := range ls.outputIDs {
+		out[i] = ls.Fab.PadValue(ls.Design.PadOf[id])
+	}
+	return out
+}
+
+// VerifyQuiescent re-settles the fabric (after a configuration edit) and
+// checks that no observed output moved, floated or went unknown: the glitch
+// and signal-continuity detector run after every frame write of a
+// relocation.
+func (ls *LockStep) VerifyQuiescent(before []Val) error {
+	if err := ls.Fab.Settle(); err != nil {
+		return err
+	}
+	now := ls.OutputSnapshot()
+	for i := range now {
+		if now[i] != before[i] {
+			return fmt.Errorf("sim: glitch on output %q: %v -> %v (configuration edit disturbed the circuit)",
+				ls.Design.NL.Nodes[ls.outputIDs[i]].Name, before[i], now[i])
+		}
+		if !now[i].Definite() {
+			return fmt.Errorf("sim: output %q is %v after configuration edit",
+				ls.Design.NL.Nodes[ls.outputIDs[i]].Name, now[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/sim"
+)
+
+// TestLockStepWithDistributedRAM runs a placed design containing 16x1
+// distributed RAMs and verifies outputs and RAM contents cycle by cycle.
+func TestLockStepWithDistributedRAM(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl := itc99.Generate(itc99.GenConfig{
+		Name: "ramckt", Inputs: 5, Outputs: 3, FFs: 6, LUTs: 14,
+		Seed: 17, Style: itc99.FreeRunning, RAMs: 2,
+	})
+	d, err := place.Place(dev, nl, place.Options{Region: fabric.Rect{Row: 2, Col: 2, H: 4, W: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(123)
+	for cycle := 0; cycle < 150; cycle++ {
+		in := make([]bool, len(nl.Inputs()))
+		for i := range in {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			in[i] = rng>>41&1 == 1
+		}
+		if err := ls.Step(in); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	if err := ls.CheckState(); err != nil {
+		t.Fatalf("state (incl. RAM contents): %v", err)
+	}
+	// The RAMs must have actually been written during the run.
+	wrote := false
+	for id, nd := range nl.Nodes {
+		if nd.Kind == netlist.KindRAM && ls.Golden.RAMContents(netlist.ID(id)) != 0 {
+			wrote = true
+		}
+	}
+	if !wrote {
+		t.Error("no RAM writes happened in 150 cycles — weak test stimulus")
+	}
+}
+
+// TestVerifyQuiescentCatchesInjectedGlitch: deliberately breaking a live net
+// must be reported by the quiescence check.
+func TestVerifyQuiescentCatchesInjectedGlitch(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	nl := netlist.New("probe")
+	a := nl.Input("a")
+	inv := nl.LUT("inv", fabric.LUTInv, a)
+	nl.Output("y", inv)
+	d, err := place.Place(dev, nl, place.Options{Region: fabric.Rect{Row: 3, Col: 3, H: 1, W: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Settle([]bool{false}); err != nil {
+		t.Fatal(err)
+	}
+	before := ls.OutputSnapshot()
+	// Break the output net: clear the pad's source mask.
+	outID := nl.Outputs()[0]
+	pad := d.PadOf[outID]
+	dev.WritePad(pad, fabric.PadConfig{})
+	if err := ls.VerifyQuiescent(before); err == nil {
+		t.Error("broken output net not detected by quiescence check")
+	}
+}

@@ -1,0 +1,68 @@
+// Package sim executes the configured fabric cycle-accurately, deriving
+// circuit behaviour from the configuration memory itself. Because every
+// relocation step is a configuration-memory edit, the simulator sees exactly
+// what the silicon would see: paralleled drivers resolve like shorted
+// routing switches, broken nets float, and a replica output connected with
+// the wrong value shows up as a conflict on the sink. A lock-step harness
+// compares the fabric against the golden netlist simulator cycle by cycle
+// while relocations are in flight — the reproduction of the paper's "no loss
+// of information or functional disturbance was observed".
+package sim
+
+// Val is a four-state signal value.
+type Val uint8
+
+// Signal values.
+const (
+	// Low and High are definite logic levels.
+	Low Val = iota
+	High
+	// Unknown marks a conflict (two parallel drivers disagreeing) or a
+	// value derived from one.
+	Unknown
+	// Undriven marks a floating node (no enabled driver) — a broken
+	// signal, which the relocation procedure must never produce.
+	Undriven
+)
+
+var valNames = [...]string{"0", "1", "X", "Z"}
+
+func (v Val) String() string { return valNames[v] }
+
+// Definite reports whether the value is a real logic level.
+func (v Val) Definite() bool { return v == Low || v == High }
+
+// FromBool converts a bool to a definite value.
+func FromBool(b bool) Val {
+	if b {
+		return High
+	}
+	return Low
+}
+
+// Bool returns the boolean level; only meaningful when Definite.
+func (v Val) Bool() bool { return v == High }
+
+// Resolve combines the values of parallel drivers on one node, mirroring
+// shorted routing switches: no driver floats, agreeing drivers win, and
+// disagreement is a conflict. The paper's two-phase procedure exploits the
+// agreeing case ("the outputs of the CLB replica are already perfectly
+// stable when they are connected"), and the Fig. 6 fuzziness shows up as
+// Unknown if the procedure ever parallels disagreeing drivers.
+func Resolve(vals []Val) Val {
+	out := Undriven
+	for _, v := range vals {
+		switch v {
+		case Undriven:
+			continue
+		case Unknown:
+			return Unknown
+		}
+		if out == Undriven {
+			out = v
+		} else if out != v {
+			return Unknown
+		}
+	}
+	return out
+}

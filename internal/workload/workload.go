@@ -1,0 +1,156 @@
+// Package workload generates synthetic task streams and application flows
+// for the run-time management experiments: on-line task arrivals of varying
+// footprint (the fragmentation stress of the paper's §1) and multi-function
+// application chains like the paper's Fig. 1.
+package workload
+
+import "math"
+
+// Task is one hardware function request: it needs an H x W CLB region for
+// Service seconds, arriving at Arrival.
+type Task struct {
+	ID      int
+	Arrival float64
+	Service float64
+	H, W    int
+}
+
+// rng is a splitmix64 generator (stable across Go releases).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// exp draws an exponential variate with the given mean.
+func (r *rng) exp(mean float64) float64 {
+	u := r.float()
+	for u == 0 {
+		u = r.float()
+	}
+	return -mean * math.Log(u)
+}
+
+// SizeDist selects the task footprint distribution.
+type SizeDist uint8
+
+const (
+	// Uniform draws H and W uniformly in [MinSide, MaxSide].
+	Uniform SizeDist = iota
+	// Bimodal mixes small (MinSide) and large (MaxSide) tasks 70/30 —
+	// the mix that fragments the grid fastest.
+	Bimodal
+)
+
+// Config parameterises task-stream generation.
+type Config struct {
+	Seed             uint64
+	N                int
+	MeanInterarrival float64
+	MeanService      float64
+	MinSide, MaxSide int
+	Dist             SizeDist
+}
+
+// Stream generates a task stream.
+func Stream(cfg Config) []Task {
+	r := &rng{s: cfg.Seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+	if cfg.MinSide < 1 {
+		cfg.MinSide = 1
+	}
+	if cfg.MaxSide < cfg.MinSide {
+		cfg.MaxSide = cfg.MinSide
+	}
+	tasks := make([]Task, cfg.N)
+	t := 0.0
+	for i := range tasks {
+		t += r.exp(cfg.MeanInterarrival)
+		h, w := cfg.drawSize(r)
+		tasks[i] = Task{
+			ID:      i + 1,
+			Arrival: t,
+			Service: r.exp(cfg.MeanService),
+			H:       h,
+			W:       w,
+		}
+	}
+	return tasks
+}
+
+func (cfg Config) drawSize(r *rng) (int, int) {
+	span := cfg.MaxSide - cfg.MinSide + 1
+	switch cfg.Dist {
+	case Bimodal:
+		if r.float() < 0.7 {
+			small := cfg.MinSide + r.intn(1+span/3)
+			return clampSide(small, cfg), clampSide(cfg.MinSide+r.intn(1+span/3), cfg)
+		}
+		big := cfg.MaxSide - r.intn(1+span/3)
+		return clampSide(big, cfg), clampSide(cfg.MaxSide-r.intn(1+span/3), cfg)
+	default:
+		return cfg.MinSide + r.intn(span), cfg.MinSide + r.intn(span)
+	}
+}
+
+func clampSide(v int, cfg Config) int {
+	if v < cfg.MinSide {
+		return cfg.MinSide
+	}
+	if v > cfg.MaxSide {
+		return cfg.MaxSide
+	}
+	return v
+}
+
+// Fn is one function in an application's chain (paper Fig. 1: functions
+// A1, A2, ... executed predominantly sequentially).
+type Fn struct {
+	Name     string
+	H, W     int
+	Duration float64
+}
+
+// App is a chain of functions executed back to back; the run-time manager
+// tries to configure function i+1 while function i is still running (the
+// reconfiguration interval rt of Fig. 1).
+type App struct {
+	Name      string
+	Functions []Fn
+}
+
+// FlowConfig parameterises application-flow generation.
+type FlowConfig struct {
+	Seed         uint64
+	Apps         int
+	FnsPerApp    int
+	MinSide      int
+	MaxSide      int
+	MeanDuration float64
+}
+
+// Flows generates application chains.
+func Flows(cfg FlowConfig) []App {
+	r := &rng{s: cfg.Seed*0x6C62272E07BB0142 + 5}
+	apps := make([]App, cfg.Apps)
+	for a := range apps {
+		apps[a].Name = string(rune('A' + a%26))
+		for f := 0; f < cfg.FnsPerApp; f++ {
+			span := cfg.MaxSide - cfg.MinSide + 1
+			apps[a].Functions = append(apps[a].Functions, Fn{
+				Name:     apps[a].Name + string(rune('1'+f%9)),
+				H:        cfg.MinSide + r.intn(span),
+				W:        cfg.MinSide + r.intn(span),
+				Duration: 0.5*cfg.MeanDuration + r.exp(cfg.MeanDuration*0.5),
+			})
+		}
+	}
+	return apps
+}

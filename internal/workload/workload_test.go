@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStreamBasicProperties(t *testing.T) {
+	cfg := Config{
+		Seed: 3, N: 500, MeanInterarrival: 2.0, MeanService: 5.0,
+		MinSide: 2, MaxSide: 8, Dist: Uniform,
+	}
+	tasks := Stream(cfg)
+	if len(tasks) != 500 {
+		t.Fatalf("len = %d", len(tasks))
+	}
+	prev := 0.0
+	for i, tk := range tasks {
+		if tk.ID != i+1 {
+			t.Fatalf("task %d has id %d", i, tk.ID)
+		}
+		if tk.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = tk.Arrival
+		if tk.Service <= 0 {
+			t.Fatal("non-positive service")
+		}
+		if tk.H < 2 || tk.H > 8 || tk.W < 2 || tk.W > 8 {
+			t.Fatalf("size %dx%d out of bounds", tk.H, tk.W)
+		}
+	}
+}
+
+func TestExponentialMeans(t *testing.T) {
+	cfg := Config{
+		Seed: 9, N: 4000, MeanInterarrival: 2.0, MeanService: 5.0,
+		MinSide: 1, MaxSide: 1,
+	}
+	tasks := Stream(cfg)
+	// Mean interarrival ~ 2.0 (law of large numbers, generous tolerance).
+	meanIA := tasks[len(tasks)-1].Arrival / float64(len(tasks))
+	if math.Abs(meanIA-2.0) > 0.2 {
+		t.Errorf("mean interarrival = %.3f, want ~2.0", meanIA)
+	}
+	sum := 0.0
+	for _, tk := range tasks {
+		sum += tk.Service
+	}
+	if meanS := sum / float64(len(tasks)); math.Abs(meanS-5.0) > 0.5 {
+		t.Errorf("mean service = %.3f, want ~5.0", meanS)
+	}
+}
+
+func TestBimodalSkew(t *testing.T) {
+	cfg := Config{
+		Seed: 5, N: 3000, MeanInterarrival: 1, MeanService: 1,
+		MinSide: 2, MaxSide: 10, Dist: Bimodal,
+	}
+	small, big := 0, 0
+	for _, tk := range Stream(cfg) {
+		if tk.H <= 5 {
+			small++
+		}
+		if tk.H >= 8 {
+			big++
+		}
+	}
+	if small <= big {
+		t.Errorf("bimodal should skew small: small=%d big=%d", small, big)
+	}
+	if big == 0 {
+		t.Error("bimodal produced no large tasks")
+	}
+}
+
+func TestFlowsStructure(t *testing.T) {
+	apps := Flows(FlowConfig{
+		Seed: 2, Apps: 4, FnsPerApp: 5, MinSide: 3, MaxSide: 6, MeanDuration: 10,
+	})
+	if len(apps) != 4 {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for _, a := range apps {
+		if len(a.Functions) != 5 {
+			t.Fatalf("app %s has %d functions", a.Name, len(a.Functions))
+		}
+		for _, f := range a.Functions {
+			if f.H < 3 || f.H > 6 || f.W < 3 || f.W > 6 {
+				t.Fatalf("fn %s size %dx%d", f.Name, f.H, f.W)
+			}
+			if f.Duration <= 0 {
+				t.Fatalf("fn %s duration %f", f.Name, f.Duration)
+			}
+		}
+	}
+}
+
+func TestFlowDeterminism(t *testing.T) {
+	a := Flows(FlowConfig{Seed: 7, Apps: 3, FnsPerApp: 4, MinSide: 2, MaxSide: 5, MeanDuration: 8})
+	b := Flows(FlowConfig{Seed: 7, Apps: 3, FnsPerApp: 4, MinSide: 2, MaxSide: 5, MeanDuration: 8})
+	for i := range a {
+		for j := range a[i].Functions {
+			if a[i].Functions[j] != b[i].Functions[j] {
+				t.Fatal("flows not deterministic")
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+// Package rlm (run-time logic management) is the public facade of the
+// reproduction of Gericota et al., "Run-Time Management of Logic Resources
+// on Reconfigurable Systems" (DATE 2003): a complete software model of a
+// Virtex-class partially reconfigurable FPGA together with the paper's
+// contribution — dynamic relocation of active CLBs and routing, on-line
+// defragmentation, and the rearrangement-and-programming tool built on a
+// JBits-style bitstream API over a Boundary-Scan configuration port.
+//
+// A System owns the device, its configuration port, the relocation engine
+// and the area book-keeping. Designs (technology-mapped netlists) are
+// loaded into rectangular regions, run cycle-accurately, and can be moved
+// — whole or CLB by CLB — while they keep running.
+package rlm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/area"
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/jtag"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/relocate"
+	"repro/internal/route"
+)
+
+// PortKind selects the configuration interface.
+type PortKind uint8
+
+const (
+	// BoundaryScan is the paper's IEEE 1149.1 port (default 20 MHz TCK).
+	BoundaryScan PortKind = iota
+	// SelectMAP is a byte-parallel port (default 50 MHz), for the
+	// interface-comparison ablation.
+	SelectMAP
+)
+
+// Options configures a System.
+type Options struct {
+	Device fabric.Preset
+	Port   PortKind
+	// ClockHz is the configuration port clock (0 = port default).
+	ClockHz float64
+	// AppClockHz is the application clock used to convert port time into
+	// elapsed cycles during relocation waits.
+	AppClockHz float64
+}
+
+// System is the live reconfigurable platform: device, configuration port,
+// relocation engine, and area management.
+type System struct {
+	Dev    *fabric.Device
+	Ctrl   *bitstream.Controller
+	Port   bitstream.Port
+	Engine *relocate.Engine
+	Area   *area.Manager
+
+	router  *route.Router
+	pads    map[fabric.PadRef]bool
+	designs map[string]*place.Design
+	regions map[string]int // design name -> area allocation id
+}
+
+// New builds a system.
+func New(opts Options) (*System, error) {
+	if opts.Device.Rows == 0 {
+		opts.Device = fabric.XCV200
+	}
+	dev := fabric.NewDevice(opts.Device)
+	ctrl := bitstream.NewController(dev)
+	var port bitstream.Port
+	switch opts.Port {
+	case SelectMAP:
+		hz := opts.ClockHz
+		if hz == 0 {
+			hz = 50e6
+		}
+		port = bitstream.NewParallelPort(ctrl, hz)
+	default:
+		hz := opts.ClockHz
+		if hz == 0 {
+			hz = jtag.DefaultTCKHz
+		}
+		port = jtag.NewPort(ctrl, hz)
+	}
+	eng, err := relocate.NewEngine(dev, port)
+	if err != nil {
+		return nil, err
+	}
+	if opts.AppClockHz > 0 {
+		eng.AppClockHz = opts.AppClockHz
+	}
+	return &System{
+		Dev:     dev,
+		Ctrl:    ctrl,
+		Port:    port,
+		Engine:  eng,
+		Area:    area.NewManagerFor(dev),
+		router:  route.NewRouter(dev),
+		pads:    map[fabric.PadRef]bool{},
+		designs: map[string]*place.Design{},
+		regions: map[string]int{},
+	}, nil
+}
+
+// Designs lists loaded design names.
+func (s *System) Designs() []string {
+	out := make([]string, 0, len(s.designs))
+	for name := range s.designs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Design returns a loaded design.
+func (s *System) Design(name string) (*place.Design, bool) {
+	d, ok := s.designs[name]
+	return d, ok
+}
+
+// Load places a netlist into a region (auto-sized when region is zero) and
+// registers it with the area manager.
+func (s *System) Load(nl *netlist.Netlist, region fabric.Rect) (*place.Design, error) {
+	if _, dup := s.designs[nl.Name]; dup {
+		return nil, fmt.Errorf("rlm: design %q already loaded", nl.Name)
+	}
+	if region.Area() == 0 {
+		var ok bool
+		region, ok = s.findRegion(nl)
+		if !ok {
+			return nil, fmt.Errorf("rlm: no region available for %q", nl.Name)
+		}
+	}
+	d, err := place.Place(s.Dev, nl, place.Options{
+		Region:      region,
+		ReservePads: s.pads,
+		Router:      s.router,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range d.PadOf {
+		s.pads[p] = true
+	}
+	id, err := s.Area.AllocateAt(region)
+	if err != nil {
+		return nil, err
+	}
+	s.designs[nl.Name] = d
+	s.regions[nl.Name] = id
+	// Checkpoint the recovery shadow: the tool now holds a complete copy
+	// of the configuration including the new design.
+	if err := s.Engine.Tool.Sync(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// findRegion auto-sizes and places a region using the area manager.
+func (s *System) findRegion(nl *netlist.Netlist) (fabric.Rect, bool) {
+	proto, err := place.AutoRegion(s.Dev, nl, 0, 0, 0.4)
+	if err != nil {
+		return fabric.Rect{}, false
+	}
+	return s.Area.FindPlacement(proto.H, proto.W, area.BestFit)
+}
+
+// Unload decommissions a design: all its routing and cells are released
+// through the configuration port, its pads disabled, its region freed.
+func (s *System) Unload(name string) error {
+	d, ok := s.designs[name]
+	if !ok {
+		return fmt.Errorf("rlm: unknown design %q", name)
+	}
+	// Release routing from every signal source (cell outputs, input pads).
+	srcs := make([]fabric.NodeID, 0, len(d.SourceOf))
+	for _, src := range d.SourceOf {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		if err := s.Engine.ReleaseTree(src); err != nil {
+			return err
+		}
+	}
+	// Clear cells.
+	for _, ref := range d.OccupiedCells() {
+		if err := s.Engine.ClearCell(ref); err != nil {
+			return err
+		}
+	}
+	// Disable pads.
+	for _, p := range d.PadOf {
+		if err := s.Engine.ClearPad(p); err != nil {
+			return err
+		}
+		delete(s.pads, p)
+	}
+	s.Area.Free(s.regions[name])
+	delete(s.designs, name)
+	delete(s.regions, name)
+	// The shared router's occupancy is stale; rebuild it.
+	s.rebuildRouter()
+	return nil
+}
+
+func (s *System) rebuildRouter() {
+	s.router = route.NewRouter(s.Dev)
+	for _, d := range s.designs {
+		s.router.Block(d.UsedNodes()...)
+	}
+}
+
+// Move relocates a whole design to a new region of identical shape, CLB by
+// CLB, while it runs. Overlapping source/target regions are handled by
+// ordering the moves along the displacement vector (the paper's staged
+// relocation).
+func (s *System) Move(name string, to fabric.Rect) error {
+	d, ok := s.designs[name]
+	if !ok {
+		return fmt.Errorf("rlm: unknown design %q", name)
+	}
+	from := d.Region
+	if to.H != from.H || to.W != from.W {
+		return fmt.Errorf("rlm: target %v does not match region %v", to, from)
+	}
+	coords := from.Coords()
+	// Order so that targets are vacated before they are needed.
+	sort.Slice(coords, func(i, j int) bool {
+		a, b := coords[i], coords[j]
+		if to.Row != from.Row {
+			if to.Row < from.Row { // moving up: top rows first
+				if a.Row != b.Row {
+					return a.Row < b.Row
+				}
+			} else {
+				if a.Row != b.Row {
+					return a.Row > b.Row
+				}
+			}
+		}
+		if to.Col < from.Col {
+			return a.Col < b.Col
+		}
+		return a.Col > b.Col
+	})
+	dr, dc := to.Row-from.Row, to.Col-from.Col
+	for _, c := range coords {
+		occupied := false
+		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+			if s.Dev.ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
+				occupied = true
+				break
+			}
+		}
+		if !occupied {
+			continue
+		}
+		dst := fabric.Coord{Row: c.Row + dr, Col: c.Col + dc}
+		if _, err := s.Engine.RelocateCLB(c, dst); err != nil {
+			return fmt.Errorf("rlm: moving %s CLB %v: %w", name, c, err)
+		}
+		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+			d.Rebind(fabric.CellRef{Coord: c, Cell: cell}, fabric.CellRef{Coord: dst, Cell: cell})
+		}
+	}
+	d.Region = to
+	if err := s.Area.Move(s.regions[name], to); err != nil {
+		return err
+	}
+	s.rebuildRouter()
+	return nil
+}
+
+// MoveStaged relocates a design like Move, but bounds the displacement of
+// each stage to maxStep CLBs (Chebyshev distance), hopping through
+// intermediate regions. The paper: "the relocation of a complete function
+// may take place in several stages, to avoid an excessive increase in path
+// delays during the relocation interval". Every intermediate region must be
+// free.
+func (s *System) MoveStaged(name string, to fabric.Rect, maxStep int) error {
+	d, ok := s.designs[name]
+	if !ok {
+		return fmt.Errorf("rlm: unknown design %q", name)
+	}
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	for d.Region != to {
+		cur := d.Region
+		dr := clampStep(to.Row-cur.Row, maxStep)
+		dc := clampStep(to.Col-cur.Col, maxStep)
+		next := fabric.Rect{Row: cur.Row + dr, Col: cur.Col + dc, H: cur.H, W: cur.W}
+		if err := s.Move(name, next); err != nil {
+			return fmt.Errorf("rlm: staged move via %v: %w", next, err)
+		}
+	}
+	return nil
+}
+
+func clampStep(d, max int) int {
+	if d > max {
+		return max
+	}
+	if d < -max {
+		return -max
+	}
+	return d
+}
+
+// Recover restores the device to the tool's shadow copy of the
+// configuration by streaming a full recovery bitstream through the
+// configuration controller — the paper's failure-recovery path ("the
+// program always keeps a complete copy of the current configuration,
+// enabling system recovery in case of failure").
+func (s *System) Recover() error {
+	words := s.Engine.Tool.Shadow().RecoveryBitstream()
+	return s.Ctrl.Feed(words...)
+}
+
+// Fragmentation reports the current logic-space fragmentation.
+func (s *System) Fragmentation() float64 { return s.Area.Fragmentation() }
+
+// Stats returns the relocation engine statistics.
+func (s *System) Stats() relocate.Stats { return s.Engine.Stats }

@@ -1,0 +1,302 @@
+package rlm
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+func newSys(t *testing.T) *System {
+	t.Helper()
+	s, err := New(Options{Device: fabric.XCV50, Port: SelectMAP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadRunUnload(t *testing.T) {
+	s := newSys(t)
+	nl, err := itc99.Get("b01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Load(nl, fabric.Rect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(5)
+	for i := 0; i < 50; i++ {
+		in := make([]bool, len(nl.Inputs()))
+		for k := range in {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			in[k] = rng>>40&1 == 1
+		}
+		if err := ls.Step(in); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+	if got := s.Designs(); len(got) != 1 || got[0] != "b01" {
+		t.Errorf("Designs() = %v", got)
+	}
+	if err := s.Unload("b01"); err != nil {
+		t.Fatal(err)
+	}
+	// The device must be completely clean again.
+	for row := 0; row < s.Dev.Rows; row++ {
+		for col := 0; col < s.Dev.Cols; col++ {
+			c := fabric.Coord{Row: row, Col: col}
+			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+				if s.Dev.ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
+					t.Fatalf("cell %v/%d still configured after unload", c, cell)
+				}
+			}
+			for local := 0; local < fabric.NodeSlots; local++ {
+				if fabric.IsLocalSink(local) && s.Dev.PIPMask(c, local) != 0 {
+					t.Fatalf("PIPs at %v/%d survive unload", c, local)
+				}
+			}
+		}
+	}
+	if s.Area.FreeCLBs() != s.Dev.Rows*s.Dev.Cols {
+		t.Error("area not fully freed")
+	}
+}
+
+func TestLoadDuplicateRejected(t *testing.T) {
+	s := newSys(t)
+	nl, _ := itc99.Get("b02")
+	if _, err := s.Load(nl, fabric.Rect{}); err != nil {
+		t.Fatal(err)
+	}
+	nl2, _ := itc99.Get("b02")
+	if _, err := s.Load(nl2, fabric.Rect{}); err == nil {
+		t.Error("duplicate design accepted")
+	}
+}
+
+func TestMoveDesignWhileRunning(t *testing.T) {
+	s := newSys(t)
+	nl := netlist.New("mover")
+	a := nl.Input("a")
+	b := nl.Input("b")
+	x := nl.LUT("x", fabric.LUTXor2, a, b)
+	ff := nl.FF("r", x, netlist.None, false)
+	nl.Output("q", ff)
+	d, err := s.Load(nl, fabric.Rect{Row: 2, Col: 2, H: 1, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the design running during the move.
+	rng := uint64(17)
+	step := func(n int) error {
+		for i := 0; i < n; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if err := ls.Step([]bool{rng>>40&1 == 1, rng>>41&1 == 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := step(10); err != nil {
+		t.Fatal(err)
+	}
+	s.Engine.Clock = func(cycles int) error { return step(cycles) }
+	if err := s.Move("mover", fabric.Rect{Row: 9, Col: 9, H: 1, W: 1}); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if err := step(30); err != nil {
+		t.Fatalf("post-move divergence: %v", err)
+	}
+	if err := ls.CheckState(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Region != (fabric.Rect{Row: 9, Col: 9, H: 1, W: 1}) {
+		t.Errorf("region not updated: %v", d.Region)
+	}
+	// Old CLB free, area manager consistent.
+	if s.Area.Occupied(fabric.Coord{Row: 2, Col: 2}) {
+		t.Error("old region still booked")
+	}
+	if !s.Area.Occupied(fabric.Coord{Row: 9, Col: 9}) {
+		t.Error("new region not booked")
+	}
+}
+
+func TestMoveOverlappingRegions(t *testing.T) {
+	// Staged move one column to the right: source and target overlap.
+	s := newSys(t)
+	nl := netlist.New("slider")
+	a := nl.Input("a")
+	l1 := nl.LUT("l1", fabric.LUTBuf, a)
+	l2 := nl.LUT("l2", fabric.LUTInv, l1)
+	nl.Output("y", l2)
+	d, err := s.Load(nl, fabric.Rect{Row: 4, Col: 4, H: 1, W: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(23)
+	s.Engine.Clock = func(cycles int) error {
+		for i := 0; i < cycles; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if err := ls.Step([]bool{rng>>40&1 == 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ls.Step([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("slider", fabric.Rect{Row: 4, Col: 5, H: 1, W: 2}); err != nil {
+		t.Fatalf("overlapping move: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := ls.Step([]bool{i%2 == 0}); err != nil {
+			t.Fatalf("post-move: %v", err)
+		}
+	}
+}
+
+func TestMoveRejectsShapeMismatch(t *testing.T) {
+	s := newSys(t)
+	nl, _ := itc99.Get("b02")
+	if _, err := s.Load(nl, fabric.Rect{Row: 0, Col: 0, H: 4, W: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Move("b02", fabric.Rect{Row: 8, Col: 8, H: 3, W: 4}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestTwoDesignsAndFragmentation(t *testing.T) {
+	s := newSys(t)
+	nlA, _ := itc99.Get("b01")
+	nlB, _ := itc99.Get("b06")
+	if _, err := s.Load(nlA, fabric.Rect{Row: 0, Col: 0, H: 4, W: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(nlB, fabric.Rect{Row: 6, Col: 6, H: 4, W: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if f := s.Fragmentation(); f <= 0 {
+		t.Errorf("two scattered designs but fragmentation = %f", f)
+	}
+	if len(s.Designs()) != 2 {
+		t.Error("designs lost")
+	}
+}
+
+func TestRecoveryAfterCorruption(t *testing.T) {
+	s := newSys(t)
+	nl, err := itc99.Get("b01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Load(nl, fabric.Rect{Row: 2, Col: 2, H: 4, W: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tag string) {
+		t.Helper()
+		ls, err := sim.NewLockStep(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := uint64(55)
+		for i := 0; i < 40; i++ {
+			in := make([]bool, len(nl.Inputs()))
+			for k := range in {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				in[k] = rng>>40&1 == 1
+			}
+			if err := ls.Step(in); err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+		}
+	}
+	run("before corruption")
+	// A fault clobbers several configuration frames of the design's
+	// columns (single-event upset, botched reconfiguration, ...).
+	garbage := make([]uint32, s.Dev.FrameWords())
+	for i := range garbage {
+		garbage[i] = 0xDEADBEEF
+	}
+	for col := 2; col < 6; col++ {
+		major := s.Dev.MajorOfArrayCol(col)
+		for m := 0; m < 8; m++ {
+			if err := s.Dev.WriteFrame(major, m, garbage); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Recovery restores the shadowed configuration.
+	if err := s.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	run("after recovery")
+}
+
+func TestMoveStaged(t *testing.T) {
+	s := newSys(t)
+	nl := netlist.New("stager")
+	a := nl.Input("a")
+	l := nl.LUT("l", fabric.LUTInv, a)
+	ff := nl.FF("r", l, netlist.None, true)
+	nl.Output("q", ff)
+	d, err := s.Load(nl, fabric.Rect{Row: 1, Col: 1, H: 1, W: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := sim.NewLockStep(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(61)
+	s.Engine.Clock = func(cycles int) error {
+		for i := 0; i < cycles; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			if err := ls.Step([]bool{rng>>40&1 == 1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := ls.Step([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	// Long diagonal move in 4-CLB hops.
+	if err := s.MoveStaged("stager", fabric.Rect{Row: 14, Col: 20, H: 1, W: 1}, 4); err != nil {
+		t.Fatalf("staged move: %v", err)
+	}
+	if d.Region != (fabric.Rect{Row: 14, Col: 20, H: 1, W: 1}) {
+		t.Errorf("region = %v", d.Region)
+	}
+	for i := 0; i < 20; i++ {
+		if err := ls.Step([]bool{i%3 == 0}); err != nil {
+			t.Fatalf("post staged move: %v", err)
+		}
+	}
+	if err := ls.CheckState(); err != nil {
+		t.Fatal(err)
+	}
+	// More cells were relocated than a direct move would need (stages).
+	if s.Stats().CellsRelocated < 3 {
+		t.Errorf("staged move relocated only %d cells", s.Stats().CellsRelocated)
+	}
+}
