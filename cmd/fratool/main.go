@@ -38,6 +38,7 @@ func main() {
 		verify     = flag.Bool("verify", true, "run the design in lock-step against its golden model during the relocation")
 		list       = flag.Bool("list-benchmarks", false, "list available benchmark circuits")
 		showMap    = flag.Bool("map", false, "print the occupancy map after the operation")
+		progress   = flag.Bool("progress", true, "print the system's event stream while the tool works")
 	)
 	flag.Parse()
 
@@ -53,10 +54,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	preset, err := presetByName(*deviceName)
+	preset, ok := fabric.PresetByName(*deviceName)
+	if !ok {
+		fail(fmt.Errorf("unknown device %q", *deviceName))
+	}
+	sys, err := rlm.New(rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan), rlm.WithClock(*tck))
 	fail(err)
-	sys, err := rlm.New(rlm.Options{Device: preset, Port: rlm.BoundaryScan, ClockHz: *tck})
-	fail(err)
+
+	// Typed event stream: every load, CLB relocation and rearrangement the
+	// system performs is reported as it happens.
+	var evDone chan struct{}
+	var evCancel func()
+	if *progress {
+		var ch <-chan rlm.Event
+		ch, evCancel = sys.Subscribe(1024)
+		evDone = make(chan struct{})
+		go func() {
+			defer close(evDone)
+			for e := range ch {
+				fmt.Println("  |", e)
+			}
+		}()
+	}
 
 	nl, err := itc99.Get(*designName)
 	fail(err)
@@ -85,7 +104,7 @@ func main() {
 			return nil
 		}
 		fail(step(20))
-		sys.Engine.Clock = step
+		sys.Engine().Clock = step
 	}
 
 	switch {
@@ -93,7 +112,7 @@ func main() {
 		plan, err := readPlan(*planFile)
 		fail(err)
 		for _, mv := range plan {
-			moves, err := sys.Engine.RelocateCLB(mv[0], mv[1])
+			moves, err := sys.Engine().RelocateCLB(mv[0], mv[1])
 			fail(err)
 			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
 				design.Rebind(fabric.CellRef{Coord: mv[0], Cell: cell}, fabric.CellRef{Coord: mv[1], Cell: cell})
@@ -107,7 +126,7 @@ func main() {
 		fail(err)
 		to, err := parseCoord(*toCLB)
 		fail(err)
-		moves, err := sys.Engine.RelocateCLB(from, to)
+		moves, err := sys.Engine().RelocateCLB(from, to)
 		fail(err)
 		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
 			design.Rebind(fabric.CellRef{Coord: from, Cell: cell}, fabric.CellRef{Coord: to, Cell: cell})
@@ -127,14 +146,14 @@ func main() {
 		}
 		to := design.Region
 		to.Row, to.Col = row, col
-		before := sys.Port.Elapsed()
+		before := sys.Port().Elapsed()
 		if *maxStep > 0 {
 			fail(sys.MoveStaged(design.Name, to, *maxStep))
 		} else {
 			fail(sys.Move(design.Name, to))
 		}
 		fmt.Printf("moved %s to %v: %d cells, %.2f ms of Boundary-Scan traffic\n",
-			design.Name, to, sys.Stats().CellsRelocated, (sys.Port.Elapsed()-before)*1e3)
+			design.Name, to, sys.Stats().CellsRelocated, (sys.Port().Elapsed()-before)*1e3)
 	default:
 		fmt.Println("nothing to do: pass -from/-to or -move-region")
 	}
@@ -143,21 +162,16 @@ func main() {
 		fail(ls.CheckState())
 		fmt.Println("lock-step verification: no output glitches, no state loss")
 	}
+	if evCancel != nil {
+		evCancel()
+		<-evDone
+	}
 	st := sys.Stats()
 	fmt.Printf("totals: cells=%d aux-circuits=%d frames=%d port-time=%.2f ms (%s)\n",
-		st.CellsRelocated, st.AuxCircuits, st.FramesWritten, st.PortSeconds*1e3, sys.Port.Name())
+		st.CellsRelocated, st.AuxCircuits, st.FramesWritten, st.PortSeconds*1e3, sys.Port().Name())
 	if *showMap {
-		fmt.Print(sys.Area.String())
+		fmt.Print(sys.Map())
 	}
-}
-
-func presetByName(name string) (fabric.Preset, error) {
-	for _, p := range []fabric.Preset{fabric.TestDevice, fabric.XCV50, fabric.XCV200, fabric.XCV800} {
-		if strings.EqualFold(p.Name, name) {
-			return p, nil
-		}
-	}
-	return fabric.Preset{}, fmt.Errorf("unknown device %q", name)
 }
 
 // readPlan parses a placement-plan file: one "RnCm -> RnCm" move per line,

@@ -3,18 +3,28 @@
 // defragmentation study (allocation rate and waiting time with and without
 // on-line rearrangement).
 //
+// By default the defrag experiment runs against pure area book-keeping.
+// With -fabric it drives a real rlm.System instead: every task is a live
+// generated design loaded onto the simulated device, every rearrangement a
+// physical relocation through the configuration port, with all resident
+// designs verified in lock-step against their golden models throughout.
+//
 // Usage:
 //
 //	schedsim -experiment fig1
 //	schedsim -experiment defrag -rows 28 -cols 42 -tasks 500
+//	schedsim -experiment defrag -fabric -device XCV50 -tasks 40 -events
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
+	rlm "repro"
 	"repro/internal/area"
+	"repro/internal/fabric"
 	"repro/internal/rearrange"
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -25,9 +35,13 @@ func main() {
 		experiment = flag.String("experiment", "defrag", "fig1 | defrag | policies")
 		rows       = flag.Int("rows", 28, "device rows (XCV200 = 28)")
 		cols       = flag.Int("cols", 42, "device columns (XCV200 = 42)")
-		tasks      = flag.Int("tasks", 400, "number of tasks (defrag)")
+		tasks      = flag.Int("tasks", 0, "number of tasks (defrag; 0 = 400 book-keeping, 40 fabric)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		load       = flag.Float64("load", 1.0, "arrival rate (tasks/s)")
+		useFabric  = flag.Bool("fabric", false, "drive a real rlm.System instead of book-keeping (defrag)")
+		deviceName = flag.String("device", "XCV50", "device preset for -fabric: TEST12x8, XCV50, XCV200, XCV800")
+		verify     = flag.Bool("verify", true, "lock-step verify resident designs during relocations (-fabric)")
+		events     = flag.Bool("events", false, "print the system's event stream (-fabric)")
 	)
 	flag.Parse()
 
@@ -35,8 +49,26 @@ func main() {
 	case "fig1":
 		fig1(*rows, *cols, *seed)
 	case "defrag":
-		defrag(*rows, *cols, *tasks, *seed, *load)
+		if *tasks == 0 {
+			*tasks = 400
+			if *useFabric {
+				*tasks = 40
+			}
+		}
+		if *useFabric {
+			preset, ok := fabric.PresetByName(*deviceName)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
+				os.Exit(2)
+			}
+			defragFabric(preset, *tasks, *seed, *load, *verify, *events)
+		} else {
+			defrag(*rows, *cols, *tasks, *seed, *load)
+		}
 	case "policies":
+		if *tasks == 0 {
+			*tasks = 400
+		}
 		policies(*rows, *cols, *tasks, *seed, *load)
 	default:
 		fmt.Fprintf(os.Stderr, "schedsim: unknown experiment %q\n", *experiment)
@@ -68,17 +100,31 @@ func fig1(rows, cols int, seed uint64) {
 	}
 }
 
-// defrag reproduces the defragmentation study: allocation rate and waiting
-// time for the same task stream with three rearrangement strategies.
-func defrag(rows, cols, tasks int, seed uint64, load float64) {
-	stream := workload.Stream(workload.Config{
+func taskStream(tasks int, seed uint64, load float64) []workload.Task {
+	return workload.Stream(workload.Config{
 		Seed: seed, N: tasks,
 		MeanInterarrival: 1.0 / load, MeanService: 6.0,
 		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
 	})
-	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, tasks, load)
+}
+
+func printMetricsHeader() {
 	fmt.Printf("%-22s %-10s %-10s %-12s %-12s %-12s %-10s\n",
 		"planner", "alloc", "immediate", "mean-wait", "frag(mean)", "frag(peak)", "moved-CLBs")
+}
+
+func printMetrics(planner rearrange.Planner, m sched.Metrics) {
+	fmt.Printf("%-22s %-10.3f %-10.3f %-12.3f %-12.3f %-12.3f %-10d\n",
+		planner.Name(), m.AllocationRate, m.ImmediateRate, m.MeanWaitSec,
+		m.MeanFragmentation, m.PeakFragmentation, m.RelocatedCLBs)
+}
+
+// defrag reproduces the defragmentation study: allocation rate and waiting
+// time for the same task stream with three rearrangement strategies.
+func defrag(rows, cols, tasks int, seed uint64, load float64) {
+	stream := taskStream(tasks, seed, load)
+	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, tasks, load)
+	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
 		rearrange.None{}, rearrange.OrderedCompaction{}, rearrange.LocalRepacking{},
 	} {
@@ -86,20 +132,58 @@ func defrag(rows, cols, tasks int, seed uint64, load float64) {
 			Rows: rows, Cols: cols, Policy: area.FirstFit,
 			Planner: planner, MaxWait: 20,
 		})
+		printMetrics(planner, s.Run(stream))
+	}
+}
+
+// defragFabric runs the same schedule against a live System: real designs,
+// real relocations, same Metrics schema.
+func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, verify, events bool) {
+	stream := taskStream(tasks, seed, load)
+	fmt.Printf("Defragmentation study on live fabric — %s (%dx%d CLBs), %d tasks, load %.2f/s, verify=%v\n",
+		preset.Name, preset.Rows, preset.Cols, tasks, load, verify)
+	printMetricsHeader()
+	for _, planner := range []rearrange.Planner{
+		rearrange.None{}, rearrange.LocalRepacking{},
+	} {
+		space, err := newFabricSpace(preset, verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		var wg sync.WaitGroup
+		var cancel func()
+		if events {
+			var ch <-chan rlm.Event
+			ch, cancel = space.sys.Subscribe(1024)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := range ch {
+					fmt.Println("  event:", e)
+				}
+			}()
+		}
+		s := sched.NewSimulatorOn(sched.Config{
+			Policy:  area.FirstFit,
+			Planner: planner, MaxWait: 20,
+		}, space)
 		m := s.Run(stream)
-		fmt.Printf("%-22s %-10.3f %-10.3f %-12.3f %-12.3f %-12.3f %-10d\n",
-			planner.Name(), m.AllocationRate, m.ImmediateRate, m.MeanWaitSec,
-			m.MeanFragmentation, m.PeakFragmentation, m.RelocatedCLBs)
+		printMetrics(planner, m)
+		st := space.sys.Stats()
+		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic, %d designs resident at end\n",
+			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
+			space.sys.Port().Name(), len(space.sys.Designs()))
+		if events {
+			cancel()
+			wg.Wait()
+		}
 	}
 }
 
 // policies compares the allocation policies under one planner.
 func policies(rows, cols, tasks int, seed uint64, load float64) {
-	stream := workload.Stream(workload.Config{
-		Seed: seed, N: tasks,
-		MeanInterarrival: 1.0 / load, MeanService: 6.0,
-		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
-	})
+	stream := taskStream(tasks, seed, load)
 	fmt.Printf("Placement-policy study — %dx%d CLBs, %d tasks\n", rows, cols, tasks)
 	fmt.Printf("%-14s %-10s %-12s %-12s\n", "policy", "alloc", "mean-wait", "frag(mean)")
 	for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {

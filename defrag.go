@@ -1,0 +1,218 @@
+package rlm
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/fabric"
+	"repro/internal/rearrange"
+)
+
+// DefragPolicy parameterises an on-line defragmentation pass.
+type DefragPolicy struct {
+	// Planner proposes the rearrangement when a target region is
+	// requested (NeedH/NeedW set); nil defaults to local repacking
+	// (Diessel's method, the paper's reference [5]).
+	Planner rearrange.Planner
+	// NeedH/NeedW ask for a specific free H x W region. Both zero means
+	// full compaction: every design slides west/north as far as it can,
+	// consolidating all free space.
+	NeedH, NeedW int
+	// MaxStep, when positive, bounds each design's per-stage displacement
+	// to MaxStep CLBs (Chebyshev), hopping through free intermediate
+	// regions where possible (the paper's staged relocation). Steps whose
+	// corridor is blocked fall back to a direct move.
+	MaxStep int
+}
+
+// DesignMove records one design relocation performed by Defragment.
+type DesignMove struct {
+	Design   string
+	From, To fabric.Rect
+}
+
+// DefragReport summarises a defragmentation pass.
+type DefragReport struct {
+	// Moves are the design relocations, in execution order.
+	Moves []DesignMove
+	// Freed is the contiguous region opened (the request for Need mode,
+	// the largest free rectangle for full compaction).
+	Freed fabric.Rect
+	// CLBsMoved is the total booked CLB area relocated (the paper's
+	// relocation cost unit); CellsRelocated counts the live logic cells
+	// the engine actually streamed.
+	CLBsMoved      int
+	CellsRelocated int
+	// FragBefore/FragAfter are the fragmentation measures around the pass.
+	FragBefore, FragAfter float64
+	// Attempts counts the candidate plans tried (rolled-back physical
+	// failures included) before one succeeded.
+	Attempts int
+}
+
+// Defragment consolidates free logic space by relocating live designs —
+// while they keep running — according to the policy. This is the paper's
+// closed loop: the rearrangement planner's book-keeping moves are executed
+// for real by the relocation engine through the configuration port,
+// transparently to the running functions.
+//
+// With Need set the pass is transactional: candidate plans are tried in
+// order, each executed all-or-nothing (a physical mid-plan failure rolls
+// the device and book-keeping back to the pre-pass checkpoint before the
+// next candidate is tried); ErrNoSpace (wrapped) is returned when no plan
+// frees the requested region. Without Need the pass is a best-effort full
+// compaction: every design slides west/north as far as the space and the
+// live routing allow, a slide that fails physically is rolled back on its
+// own and skipped. A pass that needs no moves returns an empty report and
+// touches nothing.
+func (s *System) Defragment(pol DefragPolicy) (*DefragReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pol.Planner == nil {
+		pol.Planner = rearrange.LocalRepacking{}
+	}
+	if pol.NeedH > 0 && pol.NeedW > 0 {
+		return s.defragNeedLocked(pol)
+	}
+	return s.defragCompactLocked(pol)
+}
+
+// defragNeedLocked frees a requested region transactionally, retrying
+// alternative plans. A plan that is sound in the book-keeping can still
+// fail physically (routing congestion at the chosen targets), so planners
+// that can propose alternatives are asked for all of them.
+func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
+	rep := &DefragReport{FragBefore: s.area.Fragmentation()}
+	var candidates []*rearrange.Plan
+	if mp, ok := pol.Planner.(multiPlanner); ok {
+		candidates = mp.Plans(s.area, pol.NeedH, pol.NeedW)
+	} else if pl, ok := pol.Planner.Plan(s.area, pol.NeedH, pol.NeedW); ok {
+		candidates = []*rearrange.Plan{pl}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: planner %s frees no %dx%d region",
+			ErrNoSpace, pol.Planner.Name(), pol.NeedH, pol.NeedW)
+	}
+	if len(candidates[0].Steps) == 0 {
+		// The request already fits; nothing to move.
+		rep.Freed = candidates[0].Target
+		rep.FragAfter = rep.FragBefore
+		return rep, nil
+	}
+	byID := s.namesByAllocationLocked()
+	snap, err := s.checkpointLocked()
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, plan := range candidates {
+		rep.Attempts++
+		s.publish(Event{Kind: RearrangeStarted, Steps: len(plan.Steps)})
+		cells0 := s.engine.Stats.CellsRelocated
+		rep.Moves = rep.Moves[:0]
+		rep.CLBsMoved = 0
+		if err := s.executeDefragPlanLocked(plan, byID, pol.MaxStep, rep); err != nil {
+			s.restoreLocked(snap, err)
+			lastErr = err
+			continue
+		}
+		rep.Freed = plan.Target
+		rep.CellsRelocated = s.engine.Stats.CellsRelocated - cells0
+		rep.FragAfter = s.area.Fragmentation()
+		s.publish(Event{Kind: RearrangeFinished, Steps: len(plan.Steps), CLBs: rep.CellsRelocated})
+		return rep, nil
+	}
+	return nil, fmt.Errorf("rlm: all %d rearrangement plans failed physically, last: %w",
+		rep.Attempts, lastErr)
+}
+
+// defragCompactLocked slides every design west/north best-effort. Each
+// slide is checkpointed on its own: one that fails physically (the west
+// columns double as the pad-entry routing corridor, so they congest first)
+// is rolled back and skipped while the rest of the pass continues.
+func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
+	rep := &DefragReport{FragBefore: s.area.Fragmentation(), Attempts: 1}
+	plan := rearrange.Compact(s.area)
+	if len(plan.Steps) == 0 {
+		rep.Freed = plan.Target
+		rep.FragAfter = rep.FragBefore
+		return rep, nil
+	}
+	byID := s.namesByAllocationLocked()
+	s.publish(Event{Kind: RearrangeStarted, Steps: len(plan.Steps)})
+	cells0 := s.engine.Stats.CellsRelocated
+	for _, st := range plan.Steps {
+		name, ok := byID[st.ID]
+		if !ok {
+			continue
+		}
+		// Earlier skipped slides can leave this step's target occupied.
+		if !s.area.CanMove(st.ID, st.To) {
+			continue
+		}
+		from := s.designs[name].Region
+		snap, err := s.checkpointLocked()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.defragStepLocked(name, st.To, pol.MaxStep); err != nil {
+			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, err))
+			continue
+		}
+		rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
+		rep.CLBsMoved += from.Area()
+	}
+	rep.CellsRelocated = s.engine.Stats.CellsRelocated - cells0
+	rep.Freed = s.area.MaxFreeRect()
+	rep.FragAfter = s.area.Fragmentation()
+	s.publish(Event{Kind: RearrangeFinished, Steps: len(rep.Moves), CLBs: rep.CellsRelocated})
+	return rep, nil
+}
+
+func (s *System) namesByAllocationLocked() map[int]string {
+	byID := make(map[int]string, len(s.regions))
+	for name, id := range s.regions {
+		byID[id] = name
+	}
+	return byID
+}
+
+// multiPlanner is implemented by planners that can propose fallback plans
+// (rearrange.LocalRepacking).
+type multiPlanner interface {
+	Plans(m *area.Manager, h, w int) []*rearrange.Plan
+}
+
+// executeDefragPlanLocked runs one candidate plan's moves, accumulating
+// into the report; the caller owns rollback.
+func (s *System) executeDefragPlanLocked(plan *rearrange.Plan, byID map[int]string, maxStep int, rep *DefragReport) error {
+	for _, st := range plan.Steps {
+		name, ok := byID[st.ID]
+		if !ok {
+			return fmt.Errorf("%w: allocation %d backs no design", ErrUnknownDesign, st.ID)
+		}
+		if err := s.defragStepLocked(name, st.To, maxStep); err != nil {
+			return fmt.Errorf("rlm: defragment step %s -> %v: %w", name, st.To, err)
+		}
+		rep.Moves = append(rep.Moves, DesignMove{Design: name, From: st.From, To: st.To})
+		rep.CLBsMoved += st.From.Area()
+	}
+	return nil
+}
+
+// defragStepLocked executes one planned design move, staged when the
+// policy asks for it and the hop corridor is free, direct otherwise.
+func (s *System) defragStepLocked(name string, to fabric.Rect, maxStep int) error {
+	d := s.designs[name]
+	if maxStep > 0 {
+		if hops, err := s.stagedHopsLocked(name, d.Region, to, maxStep); err == nil {
+			for _, next := range hops {
+				if err := s.moveRaw(name, next); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return s.moveRaw(name, to)
+}

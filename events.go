@@ -1,0 +1,113 @@
+package rlm
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+)
+
+// EventKind tags the typed events a System emits while it works.
+type EventKind uint8
+
+const (
+	// DesignLoaded: a design was placed, routed and checkpointed.
+	DesignLoaded EventKind = iota
+	// DesignUnloaded: a design was decommissioned and its region freed.
+	DesignUnloaded
+	// DesignMoved: a whole design finished relocating to a new region.
+	DesignMoved
+	// CLBRelocated: one live CLB finished its two-phase relocation.
+	CLBRelocated
+	// RearrangeStarted: a defragmentation / rearrangement plan begins.
+	RearrangeStarted
+	// RearrangeFinished: the plan completed; Steps and CLBs are final.
+	RearrangeFinished
+	// Recovered: the system streamed a recovery bitstream, either on
+	// request (Recover) or while rolling back a failed operation (Err is
+	// then the failure that triggered the rollback).
+	Recovered
+)
+
+var eventKindNames = [...]string{
+	"design-loaded", "design-unloaded", "design-moved", "clb-relocated",
+	"rearrange-started", "rearrange-finished", "recovered",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", k)
+}
+
+// Event is one observation from the run-time manager's event stream.
+type Event struct {
+	Kind   EventKind
+	Design string      // design involved, when applicable
+	Region fabric.Rect // design region after the event (load/unload/move)
+	From   fabric.Rect // previous region (DesignMoved)
+	// CLBFrom/CLBTo are the CLB coordinates of a CLBRelocated event.
+	CLBFrom, CLBTo fabric.Coord
+	Steps          int   // planned design moves (Rearrange*)
+	CLBs           int   // CLBs physically relocated (RearrangeFinished)
+	Err            error // failure that triggered a rollback (Recovered)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case DesignLoaded, DesignUnloaded:
+		return fmt.Sprintf("%s %s %v", e.Kind, e.Design, e.Region)
+	case DesignMoved:
+		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.From, e.Region)
+	case CLBRelocated:
+		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.CLBFrom, e.CLBTo)
+	case RearrangeStarted:
+		return fmt.Sprintf("%s steps=%d", e.Kind, e.Steps)
+	case RearrangeFinished:
+		return fmt.Sprintf("%s steps=%d clbs=%d", e.Kind, e.Steps, e.CLBs)
+	case Recovered:
+		if e.Err != nil {
+			return fmt.Sprintf("%s after: %v", e.Kind, e.Err)
+		}
+		return e.Kind.String()
+	}
+	return e.Kind.String()
+}
+
+// Subscribe registers a new listener and returns its channel plus a cancel
+// function. Events are delivered best-effort: when a listener's buffer is
+// full the event is dropped for that listener rather than stalling a
+// relocation mid-stream (the configuration port does not wait for
+// observers). A buffer of 0 uses a sensible default.
+func (s *System) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	s.subMu.Lock()
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	cancel := func() {
+		s.subMu.Lock()
+		if _, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(ch)
+		}
+		s.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish delivers an event to every subscriber without ever blocking.
+func (s *System) publish(e Event) {
+	s.subMu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- e:
+		default: // listener too slow: drop rather than stall the port
+		}
+	}
+	s.subMu.Unlock()
+}

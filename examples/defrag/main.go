@@ -1,8 +1,8 @@
-// Defrag demonstrates on-line defragmentation: several designs are loaded,
-// some are retired, and the survivors are relocated — while running — to
-// consolidate the free space so a large incoming function fits. This is the
-// paper's §1 scenario executed with real (simulated-fabric) relocations,
-// not just book-keeping.
+// Defrag demonstrates on-line defragmentation with the one-call API:
+// several designs are loaded, some are retired, and System.Defragment
+// relocates the survivors — while running — to consolidate the free space
+// so a large incoming function fits. This is the paper's §1 scenario
+// executed with real (simulated-fabric) relocations, not just book-keeping.
 package main
 
 import (
@@ -17,10 +17,20 @@ import (
 )
 
 func main() {
-	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	sys, err := rlm.New(rlm.WithDevice(fabric.XCV50), rlm.WithPort(rlm.BoundaryScan))
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Watch the system work.
+	events, cancel := sys.Subscribe(256)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range events {
+			fmt.Println("  |", e)
+		}
+	}()
 
 	// Load four small designs in the device's corners.
 	regions := []fabric.Rect{
@@ -29,7 +39,7 @@ func main() {
 		{Row: 11, Col: 0, H: 5, W: 5},
 		{Row: 11, Col: 19, H: 5, W: 5},
 	}
-	group := sim.NewGroup(sys.Dev)
+	group := sim.NewGroup(sys.Device())
 	load := func(nlName string, i int, gen bool) {
 		var nl *netlist.Netlist
 		var err error
@@ -56,9 +66,9 @@ func main() {
 	load("b02", 1, false)
 	load("b06", 2, false)
 	load("dsp", 3, true)
-	fmt.Printf("four designs resident:\n%s", sys.Area.String())
+	fmt.Printf("four designs resident:\n%s", sys.Map())
 	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
-		sys.Fragmentation(), sys.Area.MaxFreeRect())
+		sys.Fragmentation(), sys.Area().MaxFreeRect())
 
 	// Keep everything running (and verified) during all that follows.
 	rng := uint64(77)
@@ -79,7 +89,7 @@ func main() {
 		}
 		return nil
 	}
-	sys.Engine.Clock = stepAll
+	sys.Engine().Clock = stepAll
 	if err := stepAll(10); err != nil {
 		log.Fatal(err)
 	}
@@ -98,21 +108,23 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nafter retiring b02 and b06:\n%s", sys.Area.String())
+	fmt.Printf("\nafter retiring b02 and b06:\n%s", sys.Map())
 	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
-		sys.Fragmentation(), sys.Area.MaxFreeRect())
+		sys.Fragmentation(), sys.Area().MaxFreeRect())
 
 	// An incoming function needs an 11x20 region: free CLBs suffice but no
-	// contiguous rectangle exists. Defragment by moving "dsp" up beside
-	// b01's row band — while both keep running.
-	need := fabric.Rect{H: 11, W: 20}
-	if _, ok := sys.Area.FindPlacement(need.H, need.W, 0); ok {
+	// contiguous rectangle exists. One call defragments the device — the
+	// planner decides which running designs to relocate and the engine
+	// moves them while they keep running.
+	const needH, needW = 11, 20
+	if _, ok := sys.Area().FindPlacement(needH, needW, 0); ok {
 		log.Fatal("scenario broken: the region already fits")
 	}
-	fmt.Printf("\nincoming function needs %dx%d: no contiguous space — rearranging\n", need.H, need.W)
+	fmt.Printf("\nincoming function needs %dx%d: no contiguous space — defragmenting\n", needH, needW)
 
-	if err := sys.Move("dsp", fabric.Rect{Row: 0, Col: 19, H: 5, W: 5}); err != nil {
-		log.Fatalf("relocating dsp: %v", err)
+	rep, err := sys.Defragment(rlm.DefragPolicy{NeedH: needH, NeedW: needW})
+	if err != nil {
+		log.Fatalf("defragmenting: %v", err)
 	}
 	if err := stepAll(20); err != nil {
 		log.Fatalf("designs disturbed by defragmentation: %v", err)
@@ -121,16 +133,19 @@ func main() {
 		log.Fatalf("state corrupted: %v", err)
 	}
 
-	fmt.Printf("\nafter on-line defragmentation (dsp relocated while running):\n%s", sys.Area.String())
-	fmt.Printf("fragmentation = %.3f, largest free rect = %v\n",
-		sys.Fragmentation(), sys.Area.MaxFreeRect())
-	if rect, ok := sys.Area.FindPlacement(need.H, need.W, 0); ok {
-		fmt.Printf("the %dx%d function now fits at %v\n", need.H, need.W, rect)
+	fmt.Printf("\nafter on-line defragmentation (%d designs relocated while running):\n%s",
+		len(rep.Moves), sys.Map())
+	fmt.Printf("fragmentation %.3f -> %.3f, freed %v (%d CLBs booked, %d live cells relocated)\n",
+		rep.FragBefore, rep.FragAfter, rep.Freed, rep.CLBsMoved, rep.CellsRelocated)
+	if rect, ok := sys.Area().FindPlacement(needH, needW, 0); ok {
+		fmt.Printf("the %dx%d function now fits at %v\n", needH, needW, rect)
 	} else {
 		log.Fatal("defragmentation failed to open the region")
 	}
 	st := sys.Stats()
 	fmt.Printf("\nrelocation cost: %d cells, %d frames, %.1f ms of %s traffic\n",
-		st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3, sys.Port.Name())
+		st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3, sys.Port().Name())
 	fmt.Println("running designs never glitched and kept all state (verified cycle by cycle)")
+	cancel()
+	<-done
 }

@@ -22,7 +22,7 @@ func buildSystem() (*rlm.System, *sim.LockStep, fabric.CellRef) {
 	ff := nl.FF("r", d, ce, false)
 	nl.Output("q", ff)
 
-	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	sys, err := rlm.New(rlm.WithDevice(fabric.XCV50), rlm.WithPort(rlm.BoundaryScan))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func buildSystem() (*rlm.System, *sim.LockStep, fabric.CellRef) {
 
 func run(forcePlain bool) error {
 	sys, ls, from := buildSystem()
-	sys.Engine.ForcePlainProcedure = forcePlain
+	sys.Engine().ForcePlainProcedure = forcePlain
 	toggle := false
 	step := func(n int) error {
 		for i := 0; i < n; i++ {
@@ -59,9 +59,9 @@ func run(forcePlain bool) error {
 	if err := step(5); err != nil {
 		return err
 	}
-	sys.Engine.Clock = step
+	sys.Engine().Clock = step
 	to := fabric.CellRef{Coord: fabric.Coord{Row: 10, Col: 10}, Cell: from.Cell}
-	mv, err := sys.Engine.RelocateCell(from, to)
+	mv, err := sys.Engine().RelocateCell(from, to)
 	if err != nil {
 		return err
 	}

@@ -29,7 +29,7 @@ func main() {
 		nl.Output(fmt.Sprintf("o%d", i), ff)
 	}
 
-	sys, err := rlm.New(rlm.Options{Device: fabric.XCV50, Port: rlm.BoundaryScan})
+	sys, err := rlm.New(rlm.WithDevice(fabric.XCV50), rlm.WithPort(rlm.BoundaryScan))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("counter implemented in region %v of %s\n", design.Region, sys.Dev.Name)
+	fmt.Printf("counter implemented in region %v of %s\n", design.Region, sys.Device().Name)
 
 	// Run in lock-step with the golden model.
 	ls, err := sim.NewLockStep(design)
@@ -55,7 +55,7 @@ func main() {
 	fmt.Printf("after 5 cycles: count = %d (golden agrees every cycle)\n", readCount(ls, nl))
 
 	// Relocate one live CLB while the counter keeps counting.
-	sys.Engine.Clock = func(cycles int) error {
+	sys.Engine().Clock = func(cycles int) error {
 		for i := 0; i < cycles; i++ {
 			if err := ls.Step([]bool{true}); err != nil {
 				return err
@@ -69,7 +69,7 @@ func main() {
 		break
 	}
 	to := fabric.Coord{Row: 10, Col: 10}
-	moves, err := sys.Engine.RelocateCLB(from, to)
+	moves, err := sys.Engine().RelocateCLB(from, to)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func main() {
 		frames += mv.Frames
 	}
 	fmt.Printf("relocated CLB %v -> %v while running: %d cells, %d frames, %.2f ms over %s\n",
-		from, to, len(moves), frames, totalMs, sys.Port.Name())
+		from, to, len(moves), frames, totalMs, sys.Port().Name())
 
 	count(7)
 	if err := ls.CheckState(); err != nil {

@@ -8,6 +8,7 @@ package area
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/fabric"
@@ -105,12 +106,30 @@ func (m *Manager) fits(rect fabric.Rect) bool {
 	return true
 }
 
+// Fits reports whether rect is in bounds and completely free.
+func (m *Manager) Fits(rect fabric.Rect) bool { return m.fits(rect) }
+
+// CanMove reports whether an allocation could move to a new rectangle right
+// now (the target may overlap the allocation's own cells, as in a staged
+// relocation through adjacent space). The manager is not modified.
+func (m *Manager) CanMove(id int, to fabric.Rect) bool {
+	rect, ok := m.allocs[id]
+	if !ok {
+		return false
+	}
+	if to.H != rect.H || to.W != rect.W {
+		return false
+	}
+	clone := m.Clone()
+	return clone.Move(id, to) == nil
+}
+
 // FindPlacement searches for a feasible H x W rectangle under the policy
 // without committing it.
 func (m *Manager) FindPlacement(h, w int, policy Policy) (fabric.Rect, bool) {
 	best := fabric.Rect{}
 	found := false
-	bestScore := -1 << 60
+	bestScore := math.MinInt
 	for r := 0; r+h <= m.Rows; r++ {
 		for c := 0; c+w <= m.Cols; c++ {
 			rect := fabric.Rect{Row: r, Col: c, H: h, W: w}
@@ -311,6 +330,22 @@ func (m *Manager) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// CopyFrom overwrites this manager's state with src's, preserving the
+// receiver's identity: holders of the pointer (schedulers, observers) see
+// the restored state instead of silently diverging on an orphaned copy.
+// The grids must have equal dimensions.
+func (m *Manager) CopyFrom(src *Manager) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("area: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	copy(m.occ, src.occ)
+	m.allocs = make(map[int]fabric.Rect, len(src.allocs))
+	for id, r := range src.allocs {
+		m.allocs[id] = r
+	}
+	m.next = src.next
 }
 
 // Clone returns an independent copy of the manager (planners simulate

@@ -214,6 +214,24 @@ func (s *Shadow) Note(addr fabric.FrameAddr, data []uint32) {
 	s.data[addr] = cp
 }
 
+// Clone returns an independent copy of the shadow. The run-time manager
+// checkpoints the configuration this way before a multi-step operation so a
+// mid-sequence failure can be rolled back to the pre-operation state (the
+// tool's own shadow tracks the CURRENT configuration, frame by frame).
+func (s *Shadow) Clone() *Shadow {
+	cp := &Shadow{
+		frameWords: s.frameWords,
+		columns:    s.columns,
+		data:       make(map[fabric.FrameAddr][]uint32, len(s.data)),
+	}
+	for addr, f := range s.data {
+		d := make([]uint32, len(f))
+		copy(d, f)
+		cp.data[addr] = d
+	}
+	return cp
+}
+
 // Frame returns the shadowed content of a frame.
 func (s *Shadow) Frame(addr fabric.FrameAddr) ([]uint32, bool) {
 	f, ok := s.data[addr]

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -51,6 +52,19 @@ var (
 	// XCV800 approximates a large Virtex part (56x84 CLBs).
 	XCV800 = Preset{Name: "XCV800", Rows: 56, Cols: 84}
 )
+
+// Presets lists every device preset, smallest first.
+var Presets = []Preset{TestDevice, XCV50, XCV200, XCV800}
+
+// PresetByName looks a preset up by its (case-insensitive) name.
+func PresetByName(name string) (Preset, bool) {
+	for _, p := range Presets {
+		if strings.EqualFold(p.Name, name) {
+			return p, true
+		}
+	}
+	return Preset{}, false
+}
 
 // PadsPerEdgeTile is the number of IOB pads attached per border tile edge
 // position.

@@ -6,7 +6,10 @@
 package rearrange
 
 import (
+	"fmt"
+	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/area"
 	"repro/internal/fabric"
@@ -116,8 +119,25 @@ func (LocalRepacking) Name() string { return "local-repacking" }
 
 // Plan implements Planner.
 func (LocalRepacking) Plan(m *area.Manager, h, w int) (*Plan, bool) {
+	plans := repackPlans(m, h, w, 1)
+	if len(plans) == 0 {
+		return nil, false
+	}
+	return plans[0], true
+}
+
+// Plans returns feasible repacking plans in eviction-cost order, at most
+// one per distinct evicted-task set. A run-time manager executing plans on
+// a real fabric uses the alternatives as fallbacks: a plan that is sound in
+// the book-keeping can still fail physically (routing congestion at the
+// chosen targets), and the next candidate evicts different tasks.
+func (LocalRepacking) Plans(m *area.Manager, h, w int) []*Plan {
+	return repackPlans(m, h, w, 0)
+}
+
+func repackPlans(m *area.Manager, h, w, limit int) []*Plan {
 	if rect, ok := m.FindPlacement(h, w, area.FirstFit); ok {
-		return &Plan{Target: rect}, true
+		return []*Plan{{Target: rect}}
 	}
 	type cand struct {
 		window fabric.Rect
@@ -156,12 +176,38 @@ func (LocalRepacking) Plan(m *area.Manager, h, w int) (*Plan, bool) {
 		}
 		return cands[a].window.Col < cands[b].window.Col
 	})
+	var plans []*Plan
+	seenSets := map[string]bool{}
 	for _, cd := range cands {
-		if plan, ok := tryEvict(m, cd.window); ok {
-			return plan, true
+		plan, ok := tryEvict(m, cd.window)
+		if !ok {
+			continue
+		}
+		key := evictKey(plan)
+		if seenSets[key] {
+			continue
+		}
+		seenSets[key] = true
+		plans = append(plans, plan)
+		if limit > 0 && len(plans) >= limit {
+			break
 		}
 	}
-	return nil, false
+	return plans
+}
+
+// evictKey identifies the set of tasks a plan moves.
+func evictKey(p *Plan) string {
+	ids := make([]int, 0, len(p.Steps))
+	for _, s := range p.Steps {
+		ids = append(ids, s.ID)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
 }
 
 // tryEvict plans moves for every task overlapping the window to somewhere
@@ -213,8 +259,9 @@ func tryEvict(m *area.Manager, window fabric.Rect) (*Plan, bool) {
 // not count, but targets overlapping its old position are rejected to keep
 // the physical staged move simple).
 func findOutside(m *area.Manager, id, h, w int, window fabric.Rect) (fabric.Rect, bool) {
+	old, _ := m.Rect(id)
 	best := fabric.Rect{}
-	bestScore := -1
+	bestScore := math.MaxInt
 	for r := 0; r+h <= m.Rows; r++ {
 		for c := 0; c+w <= m.Cols; c++ {
 			rect := fabric.Rect{Row: r, Col: c, H: h, W: w}
@@ -231,16 +278,18 @@ func findOutside(m *area.Manager, id, h, w int, window fabric.Rect) (fabric.Rect
 			if !free {
 				continue
 			}
-			// Prefer positions far from the window (keeps the corridor
-			// clear) — score by Manhattan distance of centres.
-			score := abs(rect.Row-window.Row) + abs(rect.Col-window.Col)
-			if score > bestScore {
+			// Prefer the position nearest the task's current rectangle:
+			// the smallest displacement means the smallest path-delay
+			// increase during the relocation interval (the paper's reason
+			// for staging long moves) and the best odds that the live
+			// engine can re-route the task's nets at the target.
+			score := abs(rect.Row-old.Row) + abs(rect.Col-old.Col)
+			if score < bestScore {
 				bestScore, best = score, rect
 			}
 		}
 	}
-	_ = id
-	return best, bestScore >= 0
+	return best, bestScore < math.MaxInt
 }
 
 func abs(x int) int {
@@ -248,6 +297,79 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+// Compact plans a full defragmentation: every task slides as far west, then
+// as far north, as the space allows, in repeated passes until the layout is
+// stable. Unlike the Planner methods, Compact is not driven by a single
+// incoming request — it consolidates ALL free space, which is what the
+// run-time manager's periodic defragmentation wants. The returned plan's
+// Target is the largest free rectangle after compaction.
+func Compact(m *area.Manager) *Plan {
+	clone := m.Clone()
+	plan := &Plan{}
+	slide := func(id int, westFirst bool) bool {
+		rect, _ := clone.Rect(id)
+		best := rect
+		if westFirst {
+			for c := 0; c < rect.Col; c++ {
+				cand := fabric.Rect{Row: rect.Row, Col: c, H: rect.H, W: rect.W}
+				if clone.CanMove(id, cand) {
+					best = cand
+					break
+				}
+			}
+		} else {
+			for r := 0; r < rect.Row; r++ {
+				cand := fabric.Rect{Row: r, Col: rect.Col, H: rect.H, W: rect.W}
+				if clone.CanMove(id, cand) {
+					best = cand
+					break
+				}
+			}
+		}
+		if best == rect {
+			return false
+		}
+		if err := clone.Move(id, best); err != nil {
+			return false
+		}
+		plan.Steps = append(plan.Steps, Step{ID: id, From: rect, To: best})
+		plan.CostCLBs += rect.Area()
+		return true
+	}
+	sortedIDs := func(byCol bool) []int {
+		ids := clone.Allocations()
+		sort.Slice(ids, func(a, b int) bool {
+			ra, _ := clone.Rect(ids[a])
+			rb, _ := clone.Rect(ids[b])
+			if byCol {
+				if ra.Col != rb.Col {
+					return ra.Col < rb.Col
+				}
+				return ra.Row < rb.Row
+			}
+			if ra.Row != rb.Row {
+				return ra.Row < rb.Row
+			}
+			return ra.Col < rb.Col
+		})
+		return ids
+	}
+	for pass := 0; pass < 4; pass++ {
+		moved := false
+		for _, id := range sortedIDs(true) {
+			moved = slide(id, true) || moved
+		}
+		for _, id := range sortedIDs(false) {
+			moved = slide(id, false) || moved
+		}
+		if !moved {
+			break
+		}
+	}
+	plan.Target = clone.MaxFreeRect()
+	return plan
 }
 
 // Execute applies a plan's moves to a manager (book-keeping only; physical

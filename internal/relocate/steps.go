@@ -411,3 +411,17 @@ func (e *Engine) ClearPad(pad fabric.PadRef) error {
 	e.view.rescan()
 	return err
 }
+
+// OccupiedNodes returns every routing node currently in use on the device,
+// derived from the configuration memory (like everything the engine knows).
+// The facade rebuilds its shared router from this ground truth instead of
+// from per-design book-keeping, which goes stale across relocations.
+func (e *Engine) OccupiedNodes() []fabric.NodeID {
+	e.view.refresh()
+	out := make([]fabric.NodeID, 0, len(e.view.used))
+	for n := range e.view.used {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

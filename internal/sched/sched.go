@@ -11,9 +11,38 @@ import (
 	"sort"
 
 	"repro/internal/area"
+	"repro/internal/fabric"
 	"repro/internal/rearrange"
 	"repro/internal/workload"
 )
+
+// Space abstracts the logic space tasks are placed into. The default is
+// pure area book-keeping (the classic scheduling-study mode); cmd/schedsim
+// provides a fabric-backed Space where placing a task loads a real design
+// onto a live rlm.System and a rearrangement physically relocates running
+// designs through the configuration port.
+type Space interface {
+	// Manager exposes the book-keeping grid used for placement search,
+	// rearrangement planning and the fragmentation metrics. Implementations
+	// must keep it consistent with Place/Remove/Rearrange.
+	Manager() *area.Manager
+	// Place commits a task at rect and returns its allocation id.
+	Place(t workload.Task, rect fabric.Rect) (int, error)
+	// Remove releases a placed task.
+	Remove(id int) error
+	// Rearrange executes a feasible rearrangement plan.
+	Rearrange(p *rearrange.Plan) error
+}
+
+// bookSpace is the book-keeping-only Space.
+type bookSpace struct{ m *area.Manager }
+
+func (b bookSpace) Manager() *area.Manager { return b.m }
+func (b bookSpace) Place(t workload.Task, rect fabric.Rect) (int, error) {
+	return b.m.AllocateAt(rect)
+}
+func (b bookSpace) Remove(id int) error               { return b.m.Free(id) }
+func (b bookSpace) Rearrange(p *rearrange.Plan) error { return rearrange.Execute(b.m, p) }
 
 // Config parameterises a scheduling run.
 type Config struct {
@@ -46,6 +75,10 @@ type Metrics struct {
 	MeanUtilisation      float64 // time-weighted
 	AllocationRate       float64 // placed / submitted
 	ImmediateRate        float64 // placed immediately / submitted
+	// FailedRemovals counts departures whose Space.Remove failed (a
+	// fabric-backed unload can fail and roll back); the task then stays
+	// resident and its space is never reclaimed.
+	FailedRemovals int
 }
 
 // event kinds
@@ -77,10 +110,11 @@ func (h *evHeap) Pop() interface{} {
 	return e
 }
 
-// Simulator runs task streams against the area manager.
+// Simulator runs task streams against a Space.
 type Simulator struct {
-	cfg Config
-	m   *area.Manager
+	cfg   Config
+	space Space
+	m     *area.Manager // cached space.Manager()
 
 	events evHeap
 	queue  []workload.Task
@@ -95,15 +129,21 @@ type Simulator struct {
 	waits   []float64
 }
 
-// NewSimulator builds a simulator.
+// NewSimulator builds a simulator over the book-keeping Space.
 func NewSimulator(cfg Config) *Simulator {
+	return NewSimulatorOn(cfg, bookSpace{m: area.NewManager(cfg.Rows, cfg.Cols)})
+}
+
+// NewSimulatorOn builds a simulator over an explicit Space (the grid
+// dimensions come from the space's manager, not the config).
+func NewSimulatorOn(cfg Config, space Space) *Simulator {
 	if cfg.Planner == nil {
 		cfg.Planner = rearrange.None{}
 	}
 	if cfg.RelocSecPerCLB == 0 {
 		cfg.RelocSecPerCLB = 0.0226 // paper's per-CLB relocation time
 	}
-	return &Simulator{cfg: cfg, m: area.NewManager(cfg.Rows, cfg.Cols)}
+	return &Simulator{cfg: cfg, space: space, m: space.Manager()}
 }
 
 // Manager exposes the underlying area manager (for inspection).
@@ -124,7 +164,11 @@ func (s *Simulator) Run(tasks []workload.Task) Metrics {
 		case evArrival:
 			s.arrive(e.task)
 		case evDeparture:
-			s.m.Free(e.id)
+			if err := s.space.Remove(e.id); err != nil {
+				// The task stays resident (fabric rollback); record it
+				// rather than silently skewing the metrics.
+				s.metrics.FailedRemovals++
+			}
 			s.drainQueue()
 		}
 		s.sample()
@@ -161,18 +205,23 @@ func (s *Simulator) arrive(t workload.Task) {
 
 // place tries to start a task now; fromQueue marks tasks that waited.
 func (s *Simulator) place(t workload.Task, fromQueue bool) bool {
-	if id, _, ok := s.m.Allocate(t.H, t.W, s.cfg.Policy); ok {
-		s.start(t, id, 0, fromQueue, false)
-		return true
+	if rect, ok := s.m.FindPlacement(t.H, t.W, s.cfg.Policy); ok {
+		// A fabric-backed space can fail physically (routing congestion)
+		// even when the book-keeping fits; the task then waits its turn.
+		if id, err := s.space.Place(t, rect); err == nil {
+			s.start(t, id, 0, fromQueue, false)
+			return true
+		}
+		return false
 	}
 	plan, ok := s.cfg.Planner.Plan(s.m, t.H, t.W)
 	if !ok {
 		return false
 	}
-	if err := rearrange.Execute(s.m, plan); err != nil {
+	if err := s.space.Rearrange(plan); err != nil {
 		return false
 	}
-	id, err := s.m.AllocateAt(plan.Target)
+	id, err := s.space.Place(t, plan.Target)
 	if err != nil {
 		return false
 	}

@@ -1,0 +1,50 @@
+package rlm
+
+import (
+	"repro/internal/fabric"
+)
+
+// PortKind selects the configuration interface.
+type PortKind uint8
+
+const (
+	// BoundaryScan is the paper's IEEE 1149.1 port (default 20 MHz TCK).
+	BoundaryScan PortKind = iota
+	// SelectMAP is a byte-parallel port (default 50 MHz), for the
+	// interface-comparison ablation.
+	SelectMAP
+)
+
+// config collects the construction parameters; it is only reachable through
+// the With* functional options.
+type config struct {
+	device     fabric.Preset
+	port       PortKind
+	clockHz    float64
+	appClockHz float64
+}
+
+// Option configures a System at construction time.
+type Option func(*config)
+
+// WithDevice selects the device preset (default fabric.XCV200).
+func WithDevice(p fabric.Preset) Option {
+	return func(c *config) { c.device = p }
+}
+
+// WithPort selects the configuration interface (default BoundaryScan).
+func WithPort(k PortKind) Option {
+	return func(c *config) { c.port = k }
+}
+
+// WithClock sets the configuration-port clock in Hz (0 = port default:
+// 20 MHz TCK for Boundary-Scan, 50 MHz for SelectMAP).
+func WithClock(hz float64) Option {
+	return func(c *config) { c.clockHz = hz }
+}
+
+// WithAppClock sets the application clock in Hz, used to convert port
+// transport time into elapsed application cycles during relocation waits.
+func WithAppClock(hz float64) Option {
+	return func(c *config) { c.appClockHz = hz }
+}

@@ -11,7 +11,7 @@ import (
 
 func newSys(t *testing.T) *System {
 	t.Helper()
-	s, err := New(Options{Device: fabric.XCV50, Port: SelectMAP})
+	s, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,22 +50,22 @@ func TestLoadRunUnload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The device must be completely clean again.
-	for row := 0; row < s.Dev.Rows; row++ {
-		for col := 0; col < s.Dev.Cols; col++ {
+	for row := 0; row < s.Device().Rows; row++ {
+		for col := 0; col < s.Device().Cols; col++ {
 			c := fabric.Coord{Row: row, Col: col}
 			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
-				if s.Dev.ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
+				if s.Device().ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
 					t.Fatalf("cell %v/%d still configured after unload", c, cell)
 				}
 			}
 			for local := 0; local < fabric.NodeSlots; local++ {
-				if fabric.IsLocalSink(local) && s.Dev.PIPMask(c, local) != 0 {
+				if fabric.IsLocalSink(local) && s.Device().PIPMask(c, local) != 0 {
 					t.Fatalf("PIPs at %v/%d survive unload", c, local)
 				}
 			}
 		}
 	}
-	if s.Area.FreeCLBs() != s.Dev.Rows*s.Dev.Cols {
+	if s.Area().FreeCLBs() != s.Device().Rows*s.Device().Cols {
 		t.Error("area not fully freed")
 	}
 }
@@ -112,7 +112,7 @@ func TestMoveDesignWhileRunning(t *testing.T) {
 	if err := step(10); err != nil {
 		t.Fatal(err)
 	}
-	s.Engine.Clock = func(cycles int) error { return step(cycles) }
+	s.Engine().Clock = func(cycles int) error { return step(cycles) }
 	if err := s.Move("mover", fabric.Rect{Row: 9, Col: 9, H: 1, W: 1}); err != nil {
 		t.Fatalf("move: %v", err)
 	}
@@ -126,10 +126,10 @@ func TestMoveDesignWhileRunning(t *testing.T) {
 		t.Errorf("region not updated: %v", d.Region)
 	}
 	// Old CLB free, area manager consistent.
-	if s.Area.Occupied(fabric.Coord{Row: 2, Col: 2}) {
+	if s.Area().Occupied(fabric.Coord{Row: 2, Col: 2}) {
 		t.Error("old region still booked")
 	}
-	if !s.Area.Occupied(fabric.Coord{Row: 9, Col: 9}) {
+	if !s.Area().Occupied(fabric.Coord{Row: 9, Col: 9}) {
 		t.Error("new region not booked")
 	}
 }
@@ -151,7 +151,7 @@ func TestMoveOverlappingRegions(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := uint64(23)
-	s.Engine.Clock = func(cycles int) error {
+	s.Engine().Clock = func(cycles int) error {
 		for i := 0; i < cycles; i++ {
 			rng = rng*6364136223846793005 + 1442695040888963407
 			if err := ls.Step([]bool{rng>>40&1 == 1}); err != nil {
@@ -233,14 +233,14 @@ func TestRecoveryAfterCorruption(t *testing.T) {
 	run("before corruption")
 	// A fault clobbers several configuration frames of the design's
 	// columns (single-event upset, botched reconfiguration, ...).
-	garbage := make([]uint32, s.Dev.FrameWords())
+	garbage := make([]uint32, s.Device().FrameWords())
 	for i := range garbage {
 		garbage[i] = 0xDEADBEEF
 	}
 	for col := 2; col < 6; col++ {
-		major := s.Dev.MajorOfArrayCol(col)
+		major := s.Device().MajorOfArrayCol(col)
 		for m := 0; m < 8; m++ {
-			if err := s.Dev.WriteFrame(major, m, garbage); err != nil {
+			if err := s.Device().WriteFrame(major, m, garbage); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -268,7 +268,7 @@ func TestMoveStaged(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := uint64(61)
-	s.Engine.Clock = func(cycles int) error {
+	s.Engine().Clock = func(cycles int) error {
 		for i := 0; i < cycles; i++ {
 			rng = rng*6364136223846793005 + 1442695040888963407
 			if err := ls.Step([]bool{rng>>40&1 == 1}); err != nil {

@@ -1,0 +1,634 @@
+// Package rlm (run-time logic management) is the public facade of the
+// reproduction of Gericota et al., "Run-Time Management of Logic Resources
+// on Reconfigurable Systems" (DATE 2003): a complete software model of a
+// Virtex-class partially reconfigurable FPGA together with the paper's
+// contribution — dynamic relocation of active CLBs and routing, on-line
+// defragmentation, and the rearrangement-and-programming tool built on a
+// JBits-style bitstream API over a Boundary-Scan configuration port.
+//
+// A System owns the device, its configuration port, the relocation engine
+// and the area book-keeping. Designs (technology-mapped netlists) are
+// loaded into rectangular regions, run cycle-accurately, and can be moved
+// — whole or CLB by CLB — while they keep running.
+//
+// The facade is transactional: every mutating operation validates against
+// the area book-keeping before a single frame is streamed, and rolls the
+// device back to a pre-operation configuration checkpoint (the tool's
+// recovery shadow) if the frame stream fails midway. Multi-operation
+// transactions are built with System.Plan, on-line defragmentation with
+// System.Defragment, and progress is observable through System.Subscribe.
+// A System is safe for concurrent use: readers (Fragmentation, Stats,
+// Designs, ...) may run while a relocation streams.
+package rlm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/area"
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/jtag"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/relocate"
+	"repro/internal/route"
+)
+
+// System is the live reconfigurable platform: device, configuration port,
+// relocation engine, and area management.
+type System struct {
+	mu sync.RWMutex
+
+	dev    *fabric.Device
+	ctrl   *bitstream.Controller
+	port   bitstream.Port
+	engine *relocate.Engine
+	area   *area.Manager
+
+	router  *route.Router
+	pads    map[fabric.PadRef]bool
+	designs map[string]*place.Design
+	regions map[string]int // design name -> area allocation id
+
+	subMu   sync.Mutex
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// New builds a system from functional options, e.g.
+//
+//	sys, err := rlm.New(rlm.WithDevice(fabric.XCV50), rlm.WithPort(rlm.BoundaryScan))
+func New(opts ...Option) (*System, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.device.Rows == 0 {
+		cfg.device = fabric.XCV200
+	}
+	dev := fabric.NewDevice(cfg.device)
+	ctrl := bitstream.NewController(dev)
+	var port bitstream.Port
+	switch cfg.port {
+	case SelectMAP:
+		hz := cfg.clockHz
+		if hz == 0 {
+			hz = 50e6
+		}
+		port = bitstream.NewParallelPort(ctrl, hz)
+	default:
+		hz := cfg.clockHz
+		if hz == 0 {
+			hz = jtag.DefaultTCKHz
+		}
+		port = jtag.NewPort(ctrl, hz)
+	}
+	eng, err := relocate.NewEngine(dev, port)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.appClockHz > 0 {
+		eng.AppClockHz = cfg.appClockHz
+	}
+	return &System{
+		dev:     dev,
+		ctrl:    ctrl,
+		port:    port,
+		engine:  eng,
+		area:    area.NewManagerFor(dev),
+		router:  route.NewRouter(dev),
+		pads:    map[fabric.PadRef]bool{},
+		designs: map[string]*place.Design{},
+		regions: map[string]int{},
+		subs:    map[int]chan Event{},
+	}, nil
+}
+
+// Device returns the simulated device. The returned object is shared with
+// the engine and any running simulations; treat it as read-mostly.
+func (s *System) Device() *fabric.Device { return s.dev }
+
+// Controller returns the configuration controller behind the port.
+func (s *System) Controller() *bitstream.Controller { return s.ctrl }
+
+// Port returns the configuration port.
+func (s *System) Port() bitstream.Port { return s.port }
+
+// Engine returns the relocation engine — the designer-level escape hatch
+// for cell-grain operations (RelocateCell, Clock hookup, ablation knobs).
+// Engine calls bypass the System's locking and book-keeping; prefer the
+// System methods for anything the facade covers.
+func (s *System) Engine() *relocate.Engine { return s.engine }
+
+// Area returns the area manager (logic-space book-keeping). It is not
+// synchronised with concurrent System mutations; for a consistent reading
+// use Fragmentation, Utilisation or Map.
+func (s *System) Area() *area.Manager { return s.area }
+
+// Designs lists loaded design names.
+func (s *System) Designs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.designs))
+	for name := range s.designs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Design returns a loaded design.
+func (s *System) Design(name string) (*place.Design, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.designs[name]
+	return d, ok
+}
+
+// Region returns the rectangle a design currently occupies.
+func (s *System) Region(name string) (fabric.Rect, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.designs[name]
+	if !ok {
+		return fabric.Rect{}, false
+	}
+	return d.Region, true
+}
+
+// Allocation returns the area-manager allocation id backing a design's
+// region (rearrangement plans are expressed in allocation ids).
+func (s *System) Allocation(name string) (int, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.regions[name]
+	return id, ok
+}
+
+// Fragmentation reports the current logic-space fragmentation.
+func (s *System) Fragmentation() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.area.Fragmentation()
+}
+
+// Utilisation reports the fraction of CLBs allocated.
+func (s *System) Utilisation() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.area.Utilisation()
+}
+
+// Map renders the occupancy grid ('.' free, letters by allocation).
+func (s *System) Map() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.area.String()
+}
+
+// Stats returns the relocation engine statistics.
+func (s *System) Stats() relocate.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Stats
+}
+
+// Load places a netlist into a region (auto-sized when region is zero),
+// registers it with the area manager and checkpoints the recovery shadow.
+// On any failure the device configuration, pad bindings and book-keeping
+// are restored to their pre-call state.
+func (s *System) Load(nl *netlist.Netlist, region fabric.Rect) (*place.Design, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadLocked(nl, region)
+}
+
+func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Design, error) {
+	region, err := s.checkLoadLocked(nl, region)
+	if err != nil {
+		return nil, err
+	}
+	// Checkpoint so a partial placement (pads and cells are written before
+	// routing can still fail) never leaks onto the fabric.
+	snap, err := s.checkpointLocked()
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.loadRaw(nl, region)
+	if err != nil {
+		s.restoreLocked(snap, err)
+		return nil, err
+	}
+	return d, nil
+}
+
+// checkLoadLocked validates a load and resolves an auto-sized region,
+// touching nothing.
+func (s *System) checkLoadLocked(nl *netlist.Netlist, region fabric.Rect) (fabric.Rect, error) {
+	if _, dup := s.designs[nl.Name]; dup {
+		return region, fmt.Errorf("%w: %q", ErrDuplicateDesign, nl.Name)
+	}
+	if region.Area() == 0 {
+		var ok bool
+		region, ok = s.findRegionLocked(nl)
+		if !ok {
+			return region, fmt.Errorf("%w: auto-sizing %q", ErrNoSpace, nl.Name)
+		}
+	} else if !s.area.Fits(region) {
+		// Fail fast before anything touches the fabric.
+		return region, fmt.Errorf("%w: %v for %q", ErrRegionBusy, region, nl.Name)
+	}
+	return region, nil
+}
+
+// loadRaw performs the placement and book-keeping; the caller has validated
+// the load (region is concrete and free) and owns rollback.
+func (s *System) loadRaw(nl *netlist.Netlist, region fabric.Rect) (*place.Design, error) {
+	d, err := place.Place(s.dev, nl, place.Options{
+		Region:      region,
+		ReservePads: s.pads, // Place reserves into this map directly
+		Router:      s.router,
+	})
+	if err != nil {
+		return nil, err
+	}
+	id, err := s.area.AllocateAt(region)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRegionBusy, err)
+	}
+	s.designs[nl.Name] = d
+	s.regions[nl.Name] = id
+	// Checkpoint the recovery shadow: the tool now holds a complete copy
+	// of the configuration including the new design.
+	if err := s.engine.Tool.Sync(); err != nil {
+		return nil, err
+	}
+	s.publish(Event{Kind: DesignLoaded, Design: nl.Name, Region: region})
+	return d, nil
+}
+
+// findRegionLocked auto-sizes and places a region using the area manager.
+func (s *System) findRegionLocked(nl *netlist.Netlist) (fabric.Rect, bool) {
+	proto, err := place.AutoRegion(s.dev, nl, 0, 0, 0.4)
+	if err != nil {
+		return fabric.Rect{}, false
+	}
+	return s.area.FindPlacement(proto.H, proto.W, area.BestFit)
+}
+
+// Unload decommissions a design: all its routing and cells are released
+// through the configuration port, its pads disabled, its region freed. A
+// mid-stream engine failure rolls the device and book-keeping back to the
+// pre-call state.
+func (s *System) Unload(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.designs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDesign, name)
+	}
+	snap, err := s.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	if err := s.unloadRaw(name); err != nil {
+		s.restoreLocked(snap, err)
+		return fmt.Errorf("rlm: unloading %q: %w", name, err)
+	}
+	return nil
+}
+
+// unloadRaw performs the unload without checkpointing; the caller owns
+// rollback. The router and area book-keeping are consistent on success.
+func (s *System) unloadRaw(name string) error {
+	d := s.designs[name]
+	// Release routing from every signal source (cell outputs, input pads).
+	srcs := make([]fabric.NodeID, 0, len(d.SourceOf))
+	for _, src := range d.SourceOf {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		if err := s.engine.ReleaseTree(src); err != nil {
+			return err
+		}
+	}
+	// Clear cells.
+	for _, ref := range d.OccupiedCells() {
+		if err := s.engine.ClearCell(ref); err != nil {
+			return err
+		}
+	}
+	// Disable pads.
+	for _, p := range d.PadOf {
+		if err := s.engine.ClearPad(p); err != nil {
+			return err
+		}
+		delete(s.pads, p)
+	}
+	if err := s.area.Free(s.regions[name]); err != nil {
+		return err
+	}
+	region := d.Region
+	delete(s.designs, name)
+	delete(s.regions, name)
+	// The shared router's occupancy is stale; rebuild it.
+	s.rebuildRouterLocked()
+	s.publish(Event{Kind: DesignUnloaded, Design: name, Region: region})
+	return nil
+}
+
+// rebuildRouterLocked rebuilds the shared router from the configuration
+// memory itself — the ground truth — so occupancy never goes stale across
+// relocations (per-design net lists do: they record the original routes).
+func (s *System) rebuildRouterLocked() {
+	s.router = route.NewRouter(s.dev)
+	s.router.Block(s.engine.OccupiedNodes()...)
+}
+
+// Move relocates a whole design to a new region of identical shape, CLB by
+// CLB, while it runs. Overlapping source/target regions are handled by
+// ordering the moves along the displacement vector (the paper's staged
+// relocation). The target must be free in the area book-keeping before any
+// frame is streamed; a mid-stream failure rolls everything back.
+func (s *System) Move(name string, to fabric.Rect) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moveLocked(name, to)
+}
+
+func (s *System) moveLocked(name string, to fabric.Rect) error {
+	if err := s.checkMoveLocked(name, to); err != nil {
+		return err
+	}
+	snap, err := s.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	if err := s.moveRaw(name, to); err != nil {
+		s.restoreLocked(snap, err)
+		return err
+	}
+	return nil
+}
+
+// checkMoveLocked validates a move without touching anything.
+func (s *System) checkMoveLocked(name string, to fabric.Rect) error {
+	d, ok := s.designs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDesign, name)
+	}
+	if to.H != d.Region.H || to.W != d.Region.W {
+		return fmt.Errorf("%w: target %v, design %v", ErrRegionMismatch, to, d.Region)
+	}
+	if !s.area.CanMove(s.regions[name], to) {
+		return fmt.Errorf("%w: %v", ErrRegionBusy, to)
+	}
+	return nil
+}
+
+// moveRaw performs the physical relocation and book-keeping; the caller has
+// validated the move and owns rollback.
+func (s *System) moveRaw(name string, to fabric.Rect) error {
+	d := s.designs[name]
+	from := d.Region
+	coords := from.Coords()
+	// Order so that targets are vacated before they are needed.
+	sort.Slice(coords, func(i, j int) bool {
+		a, b := coords[i], coords[j]
+		if to.Row != from.Row {
+			if to.Row < from.Row { // moving up: top rows first
+				if a.Row != b.Row {
+					return a.Row < b.Row
+				}
+			} else {
+				if a.Row != b.Row {
+					return a.Row > b.Row
+				}
+			}
+		}
+		if to.Col < from.Col {
+			return a.Col < b.Col
+		}
+		return a.Col > b.Col
+	})
+	dr, dc := to.Row-from.Row, to.Col-from.Col
+	for _, c := range coords {
+		occupied := false
+		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+			if s.dev.ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
+				occupied = true
+				break
+			}
+		}
+		if !occupied {
+			continue
+		}
+		dst := fabric.Coord{Row: c.Row + dr, Col: c.Col + dc}
+		if _, err := s.engine.RelocateCLB(c, dst); err != nil {
+			return fmt.Errorf("rlm: moving %s CLB %v: %w", name, c, err)
+		}
+		for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+			d.Rebind(fabric.CellRef{Coord: c, Cell: cell}, fabric.CellRef{Coord: dst, Cell: cell})
+		}
+		s.publish(Event{Kind: CLBRelocated, Design: name, CLBFrom: c, CLBTo: dst})
+	}
+	d.Region = to
+	if err := s.area.Move(s.regions[name], to); err != nil {
+		return err
+	}
+	s.rebuildRouterLocked()
+	s.publish(Event{Kind: DesignMoved, Design: name, From: from, Region: to})
+	return nil
+}
+
+// MoveStaged relocates a design like Move, but bounds the displacement of
+// each stage to maxStep CLBs (Chebyshev distance), hopping through
+// intermediate regions. The paper: "the relocation of a complete function
+// may take place in several stages, to avoid an excessive increase in path
+// delays during the relocation interval". The whole hop corridor is
+// validated against the area book-keeping before any frame is streamed;
+// every intermediate region must be free.
+func (s *System) MoveStaged(name string, to fabric.Rect, maxStep int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moveStagedLocked(name, to, maxStep)
+}
+
+func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) error {
+	d, ok := s.designs[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDesign, name)
+	}
+	if to.H != d.Region.H || to.W != d.Region.W {
+		return fmt.Errorf("%w: target %v, design %v", ErrRegionMismatch, to, d.Region)
+	}
+	hops, err := s.stagedHopsLocked(name, d.Region, to, maxStep)
+	if err != nil {
+		return err
+	}
+	snap, err := s.checkpointLocked()
+	if err != nil {
+		return err
+	}
+	for _, next := range hops {
+		if err := s.moveRaw(name, next); err != nil {
+			err = fmt.Errorf("rlm: staged move via %v: %w", next, err)
+			s.restoreLocked(snap, err)
+			return err
+		}
+	}
+	return nil
+}
+
+// stagedHopsLocked computes the hop sequence and dry-runs it on a clone of
+// the area manager, so an occupied intermediate region is rejected before
+// any frame is streamed.
+func (s *System) stagedHopsLocked(name string, from, to fabric.Rect, maxStep int) ([]fabric.Rect, error) {
+	if maxStep < 1 {
+		maxStep = 1
+	}
+	id := s.regions[name]
+	clone := s.area.Clone()
+	var hops []fabric.Rect
+	for cur := from; cur != to; {
+		dr := clampStep(to.Row-cur.Row, maxStep)
+		dc := clampStep(to.Col-cur.Col, maxStep)
+		next := fabric.Rect{Row: cur.Row + dr, Col: cur.Col + dc, H: cur.H, W: cur.W}
+		if err := clone.Move(id, next); err != nil {
+			return nil, fmt.Errorf("%w: staged hop %v: %v", ErrRegionBusy, next, err)
+		}
+		hops = append(hops, next)
+		cur = next
+	}
+	return hops, nil
+}
+
+func clampStep(d, max int) int {
+	if d > max {
+		return max
+	}
+	if d < -max {
+		return -max
+	}
+	return d
+}
+
+// Recover restores the device to the tool's shadow copy of the
+// configuration by streaming a full recovery bitstream through the
+// configuration controller — the paper's failure-recovery path ("the
+// program always keeps a complete copy of the current configuration,
+// enabling system recovery in case of failure").
+func (s *System) Recover() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	words := s.engine.Tool.Shadow().RecoveryBitstream()
+	if err := s.ctrl.Feed(words...); err != nil {
+		return err
+	}
+	if err := s.engine.Tool.Sync(); err != nil {
+		return err
+	}
+	s.publish(Event{Kind: Recovered})
+	return nil
+}
+
+// checkpoint captures everything a rollback needs: the pre-operation
+// configuration (as a recovery shadow) plus the host-side book-keeping.
+type checkpoint struct {
+	shadow  *bitstream.Shadow
+	area    *area.Manager
+	pads    map[fabric.PadRef]bool
+	regions map[string]int
+	designs map[string]*place.Design
+	states  map[string]designState
+}
+
+// designState is the per-design mutable state a relocation rewrites.
+type designState struct {
+	region   fabric.Rect
+	cellOf   map[netlist.ID]fabric.CellRef
+	sourceOf map[netlist.ID]fabric.NodeID
+}
+
+func (s *System) checkpointLocked() (*checkpoint, error) {
+	// Make the tool's shadow current first (it lags behind designer-path
+	// writes until the next Sync).
+	if err := s.engine.Tool.Sync(); err != nil {
+		return nil, err
+	}
+	cp := &checkpoint{
+		shadow:  s.engine.Tool.Shadow().Clone(),
+		area:    s.area.Clone(),
+		pads:    make(map[fabric.PadRef]bool, len(s.pads)),
+		regions: make(map[string]int, len(s.regions)),
+		designs: make(map[string]*place.Design, len(s.designs)),
+		states:  make(map[string]designState, len(s.designs)),
+	}
+	for p := range s.pads {
+		cp.pads[p] = true
+	}
+	for n, id := range s.regions {
+		cp.regions[n] = id
+	}
+	for n, d := range s.designs {
+		cp.designs[n] = d
+		st := designState{
+			region:   d.Region,
+			cellOf:   make(map[netlist.ID]fabric.CellRef, len(d.CellOf)),
+			sourceOf: make(map[netlist.ID]fabric.NodeID, len(d.SourceOf)),
+		}
+		for id, ref := range d.CellOf {
+			st.cellOf[id] = ref
+		}
+		for id, node := range d.SourceOf {
+			st.sourceOf[id] = node
+		}
+		cp.states[n] = st
+	}
+	return cp, nil
+}
+
+// restoreLocked rolls the device and all book-keeping back to a checkpoint
+// after a failed operation: the pre-operation configuration is streamed
+// through the controller (the paper's recovery path) and the host-side
+// state is reset to match. The checkpoint itself is left intact (only
+// copies are installed), so one checkpoint can back several rollbacks —
+// Defragment retries alternative plans against the same one. cause is
+// reported on the event stream.
+func (s *System) restoreLocked(cp *checkpoint, cause error) {
+	// The recovery stream rewrites every frame, so a partially executed
+	// operation cannot survive it.
+	_ = s.ctrl.Feed(cp.shadow.RecoveryBitstream()...)
+	_ = s.engine.Tool.Sync()
+	// Restore in place: Area() callers (e.g. a scheduler driving this
+	// system) keep a valid pointer across rollbacks.
+	s.area.CopyFrom(cp.area)
+	s.pads = make(map[fabric.PadRef]bool, len(cp.pads))
+	for p := range cp.pads {
+		s.pads[p] = true
+	}
+	s.regions = make(map[string]int, len(cp.regions))
+	for n, id := range cp.regions {
+		s.regions[n] = id
+	}
+	s.designs = make(map[string]*place.Design, len(cp.designs))
+	for n, d := range cp.designs {
+		s.designs[n] = d
+	}
+	for n, st := range cp.states {
+		d := cp.designs[n]
+		d.Region = st.region
+		d.CellOf = make(map[netlist.ID]fabric.CellRef, len(st.cellOf))
+		for id, ref := range st.cellOf {
+			d.CellOf[id] = ref
+		}
+		d.SourceOf = make(map[netlist.ID]fabric.NodeID, len(st.sourceOf))
+		for id, node := range st.sourceOf {
+			d.SourceOf[id] = node
+		}
+	}
+	s.rebuildRouterLocked()
+	s.publish(Event{Kind: Recovered, Err: cause})
+}
