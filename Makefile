@@ -1,0 +1,25 @@
+.PHONY: test race bench bench-baseline cover
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# The exact command the CI bench lane runs (keep the two in sync: the
+# regression gate compares like against like).
+BENCH_CMD = go test -run '^$$' -bench . -benchmem -benchtime=100ms -timeout 30m ./...
+
+bench:
+	$(BENCH_CMD)
+
+# Refresh the checked-in baseline after a PR that intentionally shifts
+# performance. Run on an otherwise idle machine.
+bench-baseline:
+	$(BENCH_CMD) | tee bench.txt
+	go run ./cmd/benchdiff parse bench.txt > BENCH_baseline.json
+	rm -f bench.txt
+
+cover:
+	go test -coverprofile=cover.out ./...
+	go tool cover -func=cover.out | tail -1

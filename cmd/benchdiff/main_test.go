@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7Defrag             	       3	 342258198 ns/op	41498688 B/op	  175270 allocs/op
+BenchmarkTab226msRelocationTime-8 	       2	 931431967 ns/op	         6.889 ms/CLB	105803816 B/op	  404479 allocs/op
+PASS
+ok  	repro	9.192s
+pkg: repro/internal/route
+BenchmarkRoute-8   	    1000	     12345 ns/op
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	by := index(doc)
+	fig7, ok := by["repro.BenchmarkFig7Defrag"]
+	if !ok {
+		t.Fatal("Fig7 missing")
+	}
+	if fig7.NsPerOp != 342258198 || fig7.BPerOp != 41498688 || fig7.AllocsPerOp != 175270 {
+		t.Fatalf("Fig7 fields: %+v", fig7)
+	}
+	tab, ok := by["repro.BenchmarkTab226msRelocationTime"]
+	if !ok {
+		t.Fatal("Tab226 missing (GOMAXPROCS suffix not stripped?)")
+	}
+	if tab.Metrics["ms/CLB"] != 6.889 {
+		t.Fatalf("Tab226 custom metric: %+v", tab.Metrics)
+	}
+	if _, ok := by["repro/internal/route.BenchmarkRoute"]; !ok {
+		t.Fatal("per-package attribution lost")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	if _, ok := parseLine("p", "BenchmarkBroken 12"); ok {
+		t.Fatal("accepted truncated line")
+	}
+	if _, ok := parseLine("p", "BenchmarkBroken x 1 ns/op"); ok {
+		t.Fatal("accepted non-numeric iterations")
+	}
+}

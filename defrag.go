@@ -104,6 +104,7 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.releaseCheckpointLocked(snap)
 	var lastErr error
 	for _, plan := range candidates {
 		rep.Attempts++
@@ -127,9 +128,24 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 }
 
 // defragCompactLocked slides every design west/north best-effort. Each
-// slide is checkpointed on its own: one that fails physically (the west
-// columns double as the pad-entry routing corridor, so they congest first)
-// is rolled back and skipped while the rest of the pass continues.
+// slide is bracketed by a frame-granular snapshot: one that fails physically
+// (the west columns double as the pad-entry routing corridor, so they
+// congest first) is rolled back by replaying only the frames it dirtied and
+// skipped while the rest of the pass continues. The snapshot is released the
+// moment its slide completes, so exactly one checkpoint is alive at any
+// point of the pass and its configuration side is proportional to the
+// slide's touched frames — the old path cloned the full configuration
+// shadow per slide, O(designs x device-size) traffic, and kept each clone
+// alive to the end of the pass. (The host book-keeping side of a checkpoint
+// still clones every design's tables; narrowing that to the sliding design
+// is an open ROADMAP item.)
+//
+// A slide that completed must NOT be rolled back later (no pass-level
+// rollback-and-replay): relocation moves live state, and rewinding the
+// configuration of a finished move would reset the restored cells to their
+// power-up Init values while the running application holds live data.
+// Rollback is therefore scoped to the failing slide, where the original
+// cells still hold the state.
 func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 	rep := &DefragReport{FragBefore: s.area.Fragmentation(), Attempts: 1}
 	plan := rearrange.Compact(s.area)
@@ -156,11 +172,13 @@ func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 			return nil, err
 		}
 		if err := s.defragStepLocked(name, st.To, pol.MaxStep); err != nil {
+			rep.Attempts++
 			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, err))
-			continue
+		} else {
+			rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
+			rep.CLBsMoved += from.Area()
 		}
-		rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
-		rep.CLBsMoved += from.Area()
+		s.releaseCheckpointLocked(snap)
 	}
 	rep.CellsRelocated = s.engine.Stats.CellsRelocated - cells0
 	rep.Freed = s.area.MaxFreeRect()

@@ -338,7 +338,12 @@ func (c *Controller) ExecRead(request []uint32) ([]uint32, error) {
 				out = append(out, data...)
 			}
 		case Type2:
-			if op == opRead && reg == RegFDRO {
+			if op == opWrite {
+				// Skip a Type-2 write payload (e.g. a batched FDRI burst
+				// too long for a Type-1 word count) so a readback request
+				// later in the log still parses.
+				pendingWrite = int(w & wc2Mask)
+			} else if op == opRead && reg == RegFDRO {
 				data, err := c.readFrames(far, int(w&wc2Mask))
 				if err != nil {
 					return nil, err

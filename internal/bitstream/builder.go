@@ -30,6 +30,17 @@ func (b *Builder) Words() []uint32 { return b.words }
 // Len returns the current stream length in words.
 func (b *Builder) Len() int { return len(b.words) }
 
+// Grow reserves capacity for at least n more words, so a caller that knows
+// the stream size up front avoids append growth.
+func (b *Builder) Grow(n int) *Builder {
+	if cap(b.words)-len(b.words) < n {
+		w := make([]uint32, len(b.words), len(b.words)+n)
+		copy(w, b.words)
+		b.words = w
+	}
+	return b
+}
+
 func (b *Builder) emit(ws ...uint32) { b.words = append(b.words, ws...) }
 
 // Sync emits the synchronisation word.
@@ -135,10 +146,21 @@ type FrameUpdate struct {
 
 // Partial builds a partial bitstream from frame updates, grouping runs of
 // consecutive frames within a column into single FDRI bursts (minors must
-// ascend within a major for grouping to apply; any order is accepted).
+// ascend within a major for grouping to apply; any order is accepted). The
+// stream is sized exactly up front, so batched commits of many frames build
+// without append growth.
 func Partial(dev *fabric.Device, updates []FrameUpdate) []uint32 {
 	b := NewBuilderFor(dev)
+	b.Grow(partialStreamWords(dev.FrameWords(), updates))
 	b.Sync().ResetCRC().FrameLength()
+	appendUpdates(b, updates)
+	b.Desync()
+	return b.Words()
+}
+
+// updateRuns calls fn for each maximal run of consecutive frames (ascending
+// minors within one major) in updates.
+func updateRuns(updates []FrameUpdate, fn func(run []FrameUpdate)) {
 	i := 0
 	for i < len(updates) {
 		j := i + 1
@@ -147,16 +169,37 @@ func Partial(dev *fabric.Device, updates []FrameUpdate) []uint32 {
 			updates[j].Addr.Minor == updates[j-1].Addr.Minor+1 {
 			j++
 		}
-		run := updates[i:j]
+		fn(updates[i:j])
+		i = j
+	}
+}
+
+// appendUpdates emits the WCFG bursts for a set of frame updates.
+func appendUpdates(b *Builder, updates []FrameUpdate) {
+	updateRuns(updates, func(run []FrameUpdate) {
 		frames := make([][]uint32, len(run))
 		for k, u := range run {
 			frames[k] = u.Data
 		}
 		b.WriteFrames(FAR{Major: run[0].Addr.Major, Minor: run[0].Addr.Minor}, frames)
-		i = j
-	}
-	b.Desync()
-	return b.Words()
+	})
+}
+
+// partialStreamWords returns the exact word count of the stream Partial
+// builds for these updates: sync + RCRC + FLR preamble, per-run WCFG/FAR
+// headers, frame data plus the trailing pad frame and CRC check, and the
+// final desync.
+func partialStreamWords(frameWords int, updates []FrameUpdate) int {
+	n := 1 + 2 + 2 + 2 // sync, RCRC, FLR, desync
+	updateRuns(updates, func(run []FrameUpdate) {
+		total := (len(run) + 1) * frameWords
+		hdr := 1
+		if total > wc1Mask {
+			hdr = 2
+		}
+		n += 2 + 2 + hdr + total + 2 // WCFG, FAR, FDRI header, data+pad, CRC
+	})
+	return n
 }
 
 // Full builds a complete bitstream of the device's current configuration.
@@ -180,11 +223,14 @@ func Full(dev *fabric.Device) ([]uint32, error) {
 
 // Shadow mirrors the device configuration on the host. The paper's tool
 // "always keeps a complete copy of the current configuration, enabling
-// system recovery in case of failure"; Shadow is that copy.
+// system recovery in case of failure"; Shadow is that copy. Frame slices in
+// the shadow are replaced wholesale on every note and never mutated in
+// place, which is what lets Snapshot share pre-images instead of copying.
 type Shadow struct {
 	frameWords int
 	columns    []fabric.Column
 	data       map[fabric.FrameAddr][]uint32
+	snaps      []*Snapshot // active copy-on-write checkpoints
 }
 
 // NewShadow captures the device's current full configuration.
@@ -207,11 +253,23 @@ func NewShadow(dev *fabric.Device) (*Shadow, error) {
 }
 
 // Note records a frame update in the shadow (called by the tool alongside
-// every frame it writes to the device).
+// every frame it writes to the device). The data is copied.
 func (s *Shadow) Note(addr fabric.FrameAddr, data []uint32) {
 	cp := make([]uint32, len(data))
 	copy(cp, data)
-	s.data[addr] = cp
+	s.NoteOwned(addr, cp)
+}
+
+// NoteOwned records a frame update taking ownership of the slice (the caller
+// must not mutate it afterwards). Pre-images flow into any active snapshots
+// before the overwrite.
+func (s *Shadow) NoteOwned(addr fabric.FrameAddr, data []uint32) {
+	if len(s.snaps) > 0 {
+		if old, ok := s.data[addr]; ok {
+			s.cow(addr, old)
+		}
+	}
+	s.data[addr] = data
 }
 
 // Clone returns an independent copy of the shadow. The run-time manager

@@ -83,6 +83,12 @@ type Device struct {
 	frameWords int   // uniform frame length in 32-bit words
 	frameBits  int   // uniform frame length in bits
 	frames     [][]uint32
+	// frameGen[i] is the generation at which frame i last changed;
+	// addrOfFrame maps the linear frame index back to its address. Together
+	// they let host-side tools synchronise shadow copies frame-by-frame
+	// instead of re-reading the whole configuration.
+	frameGen    []uint64
+	addrOfFrame []FrameAddr
 
 	// pipOffset[sinkLocal] is the bit offset of the sink's PIP mask within
 	// the tile's configuration slot space; pipWidth its width.
@@ -124,8 +130,10 @@ func NewDevice(p Preset) *Device {
 	for _, col := range d.columns {
 		for i := 0; i < col.Frames; i++ {
 			d.frames = append(d.frames, make([]uint32, d.frameWords))
+			d.addrOfFrame = append(d.addrOfFrame, FrameAddr{Major: col.Major, Minor: i})
 		}
 	}
+	d.frameGen = make([]uint64, len(d.frames))
 	d.tileGen = make([]uint64, p.Rows*p.Cols)
 
 	// Variable-width PIP mask packing after the 128 logic bits.
@@ -224,6 +232,7 @@ func (d *Device) WriteFrame(major, minor int, data []uint32) error {
 	defer d.mu.Unlock()
 	copy(d.frames[idx], data)
 	d.touchColumnLocked(major)
+	d.frameGen[idx] = d.gen
 	return nil
 }
 
@@ -246,6 +255,22 @@ func (d *Device) Generation() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.gen
+}
+
+// FramesChangedSince returns the addresses of every frame written after the
+// given generation, in frame-address order. Host-side shadow copies use it
+// to re-read only what moved — rollback and synchronisation state stays
+// proportional to the change, not to the device.
+func (d *Device) FramesChangedSince(gen uint64) []FrameAddr {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []FrameAddr
+	for i, g := range d.frameGen {
+		if g > gen {
+			out = append(out, d.addrOfFrame[i])
+		}
+	}
+	return out
 }
 
 // TileGeneration returns the configuration generation of one tile.
@@ -341,8 +366,8 @@ func (d *Device) getTileFieldLocked(c Coord, slot, width int) uint32 {
 func (d *Device) SetTileField(c Coord, slot, width int, v uint32) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.setTileFieldLocked(c, slot, width, v)
 	d.gen++
+	d.setTileFieldLocked(c, slot, width, v)
 	d.tileGen[d.TileIndex(c)] = d.gen
 }
 
@@ -351,6 +376,7 @@ func (d *Device) setTileFieldLocked(c Coord, slot, width int, v uint32) {
 		major, minor, bit := d.tileBitAddr(c, slot+i)
 		idx, _ := d.frameIndex(major, minor)
 		d.setBitLocked(idx, bit, v>>i&1 == 1)
+		d.frameGen[idx] = d.gen
 	}
 }
 

@@ -151,6 +151,7 @@ func (d *Device) WritePad(p PadRef, pc PadConfig) {
 		d.setBitLocked(idx, bit+i, v>>i&1 == 1)
 	}
 	d.gen++
+	d.frameGen[idx] = d.gen
 	d.padGen = d.gen
 }
 

@@ -81,7 +81,15 @@ func (ch *Chain) onEnter(prev State) {
 		ch.instr = ch.irShift & (1<<IRLength - 1)
 		switch ch.instr {
 		case InstrCfgIn:
+			// Each CFG_IN load opens a fresh configuration session: drop
+			// the previous session's log. Words of an earlier stream can
+			// never be part of a later readback request, and resetting
+			// here (an IR load cannot happen mid-payload) bounds the log
+			// to one stream without sniffing payload words for sync
+			// patterns — frame data may legitimately contain the sync
+			// word's bit pattern.
 			ch.inWord, ch.inBits = 0, 0
+			ch.inLog = ch.inLog[:0]
 		case InstrJStart:
 			// Startup sequence: no behavioural effect in the model.
 		}

@@ -191,6 +191,56 @@ func TestChainBypass(t *testing.T) {
 	}
 }
 
+// TestBatchedColumnWriteType2Stream drives a whole-column batched update —
+// large enough that the FDRI burst needs a Type-2 (extended word count)
+// header — through the Boundary-Scan port and verifies every frame landed.
+// This is the stream shape the batched commit pipeline produces when many
+// operations coalesce into one partial bitstream.
+func TestBatchedColumnWriteType2Stream(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV800)
+	ctrl := bitstream.NewController(dev)
+	p := NewPort(ctrl, DefaultTCKHz)
+
+	col, ok := dev.ColumnByMajor(2)
+	if !ok {
+		t.Fatal("no major 2")
+	}
+	fw := dev.FrameWords()
+	if total := (col.Frames + 1) * fw; total <= 0x7FF {
+		t.Fatalf("column burst is %d words; test needs a Type-2-sized stream", total)
+	}
+	updates := make([]bitstream.FrameUpdate, col.Frames)
+	for m := range updates {
+		data := make([]uint32, fw)
+		for w := range data {
+			data[w] = uint32(m)<<16 | uint32(w)
+		}
+		updates[m] = bitstream.FrameUpdate{Addr: fabric.FrameAddr{Major: 2, Minor: m}, Data: data}
+	}
+	if err := p.WriteUpdates(updates); err != nil {
+		t.Fatalf("batched column write: %v", err)
+	}
+	for m := 0; m < col.Frames; m++ {
+		got, err := dev.ReadFrame(2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w := range got {
+			if want := uint32(m)<<16 | uint32(w); got[w] != want {
+				t.Fatalf("frame %d word %d = %#x, want %#x", m, w, got[w], want)
+			}
+		}
+	}
+	// Readback through the port survives the big session too.
+	back, err := p.ReadFrame(fabric.FrameAddr{Major: 2, Minor: col.Frames - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[3] != uint32(col.Frames-1)<<16|3 {
+		t.Fatalf("port readback word 3 = %#x", back[3])
+	}
+}
+
 func TestUnalignedCfgInReportsError(t *testing.T) {
 	_, p := newPort(t)
 	p.LoadIR(InstrCfgIn)

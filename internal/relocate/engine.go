@@ -77,6 +77,11 @@ type CellMove struct {
 	// associated to the parallel interconnections shall be the longer of
 	// the two paths").
 	MaxParallelDelayNs float64
+	// TouchedFrames is the distinct set of configuration frames the
+	// relocation wrote, in first-touched order. The run-time manager sizes
+	// its checkpoints from this: rollback state covers exactly these
+	// frames, not the whole device.
+	TouchedFrames []fabric.FrameAddr
 }
 
 // Engine performs dynamic relocation through a configuration port.
@@ -106,6 +111,7 @@ type Engine struct {
 	Stats Stats
 
 	view     *view
+	router   *route.Router // reused across relocations (Reset per plan)
 	lastTick float64
 }
 
@@ -121,13 +127,19 @@ func NewEngine(dev *fabric.Device, port bitstream.Port) (*Engine, error) {
 		AppClockHz:       1e6,
 		MaxCyclesPerWait: 8,
 		view:             newView(dev),
+		router:           route.NewRouter(dev),
 	}, nil
 }
 
 // tick advances the application clock to cover the port time consumed since
 // the last tick, with a minimum cycle count (the "> 2 CLK" / "> 1 CLK"
-// waits of the Fig. 4 flow).
+// waits of the Fig. 4 flow). Pending batched frames flush first: a wait
+// point is only meaningful once the configuration stream that precedes it
+// has been delivered.
 func (e *Engine) tick(minCycles int) error {
+	if err := e.Tool.Flush(); err != nil {
+		return err
+	}
 	now := e.Tool.Port().Elapsed()
 	cycles := int((now - e.lastTick) * e.AppClockHz)
 	e.lastTick = now
@@ -185,8 +197,12 @@ type cellPlan struct {
 // free-running synchronous cells use the plain two-phase procedure;
 // gated-clock and latch cells use the auxiliary relocation circuit.
 func (e *Engine) RelocateCell(from, to fabric.CellRef) (*CellMove, error) {
+	if err := e.Tool.Flush(); err != nil {
+		return nil, err
+	}
 	start := e.Tool.Port().Elapsed()
 	frames0 := e.Tool.FramesWritten()
+	e.Tool.MarkTouched()
 
 	plan, err := e.plan(from, to)
 	if err != nil {
@@ -204,12 +220,13 @@ func (e *Engine) RelocateCell(from, to fabric.CellRef) (*CellMove, error) {
 		e.Stats.AuxCircuits++
 	}
 	mv := &CellMove{
-		From:    from,
-		To:      to,
-		Aux:     plan.aux,
-		UsedAux: plan.needsAux,
-		Frames:  e.Tool.FramesWritten() - frames0,
-		Seconds: e.Tool.Port().Elapsed() - start,
+		From:          from,
+		To:            to,
+		Aux:           plan.aux,
+		UsedAux:       plan.needsAux,
+		Frames:        e.Tool.FramesWritten() - frames0,
+		Seconds:       e.Tool.Port().Elapsed() - start,
+		TouchedFrames: e.Tool.TouchedFrames(),
 	}
 	mv.MaxParallelDelayNs = plan.maxParallelDelay(e.Dev)
 	e.Stats.FramesWritten = e.Tool.FramesWritten()
@@ -396,9 +413,13 @@ func (e *Engine) destinationFree(to fabric.CellRef) error {
 }
 
 // routePlan routes the parallel input paths, aux wiring and output paths.
+// The engine's router is reused across relocations — Reset is O(1) and the
+// fanout cache persists, so routing allocations stay proportional to the
+// paths found, not to the device.
 func (e *Engine) routePlan(p *cellPlan) error {
 	dev := e.Dev
-	r := route.NewRouter(dev)
+	r := e.router
+	r.Reset()
 	for n := range e.view.used {
 		r.Block(n)
 	}

@@ -2,6 +2,7 @@ package relocate
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
@@ -12,6 +13,14 @@ import (
 // configuration port. It maintains the shadow copy the paper's tool keeps
 // for failure recovery, and it is the ONLY mutation path the relocation
 // engine uses — everything the engine does is real partial reconfiguration.
+//
+// Frame writes are staged write-through: the device sees each frame the
+// moment it is staged (rewriting identical bits is glitch-free, so the later
+// port delivery of the same data is harmless), while the packet stream is
+// coalesced — one sync/CRC-bracketed partial bitstream per Apply, or per
+// whole batch when the caller brackets several operations with
+// BeginBatch/EndBatch. A frame staged twice in one batch streams once, with
+// its final content.
 type FrameTool struct {
 	dev    *fabric.Device
 	port   bitstream.Port
@@ -19,14 +28,28 @@ type FrameTool struct {
 
 	// VerifyHook, when set, is invoked after every frame write (the
 	// harness re-settles the simulator and checks for glitches there).
+	// Setting it disables write coalescing: every frame streams on its
+	// own so the hook observes the same per-frame sequence the paper's
+	// cautious tool produced.
 	VerifyHook func() error
 	// ReadbackVerify reads every written frame back through the port and
 	// compares — the cautious mode of the paper's tool. It roughly doubles
 	// the Boundary-Scan traffic per relocation (see the ablation bench).
+	// Like VerifyHook it forces per-frame streaming.
 	ReadbackVerify bool
 
 	frames  int
 	genSeen uint64
+
+	batchDepth int
+	// pending is the set of frames staged but not yet streamed; content is
+	// not kept here — Flush reads each frame from the shadow, which always
+	// holds the latest staged (and designer-reconciled) data.
+	pending    []fabric.FrameAddr
+	pendingSet map[fabric.FrameAddr]bool
+
+	touched  []fabric.FrameAddr
+	touchSet map[fabric.FrameAddr]bool
 }
 
 // NewFrameTool builds a tool over a device and port. The shadow is
@@ -36,7 +59,11 @@ func NewFrameTool(dev *fabric.Device, port bitstream.Port) (*FrameTool, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FrameTool{dev: dev, port: port, shadow: shadow, genSeen: dev.Generation()}, nil
+	return &FrameTool{
+		dev: dev, port: port, shadow: shadow, genSeen: dev.Generation(),
+		pendingSet: make(map[fabric.FrameAddr]bool),
+		touchSet:   make(map[fabric.FrameAddr]bool),
+	}, nil
 }
 
 // Sync refreshes the recovery shadow from the device if the configuration
@@ -44,20 +71,25 @@ func NewFrameTool(dev *fabric.Device, port bitstream.Port) (*FrameTool, error) {
 // design is loaded by the development flow).
 func (ft *FrameTool) Sync() error { return ft.sync() }
 
-// sync refreshes the shadow when the configuration changed through a path
+// sync reconciles the shadow when the configuration changed through a path
 // other than this tool (e.g. the development tool loading a new design) —
 // the paper's tool accepts "a complete configuration file" as input; this
-// is the equivalent import.
+// is the equivalent import. Only the frames that actually changed are
+// re-read, and their pre-images flow into any open snapshots, so a
+// checkpoint covers designer-path writes too.
 func (ft *FrameTool) sync() error {
-	if ft.dev.Generation() == ft.genSeen {
+	g := ft.dev.Generation()
+	if g == ft.genSeen {
 		return nil
 	}
-	shadow, err := bitstream.NewShadow(ft.dev)
-	if err != nil {
-		return err
+	for _, addr := range ft.dev.FramesChangedSince(ft.genSeen) {
+		data, err := ft.dev.ReadFrame(addr.Major, addr.Minor)
+		if err != nil {
+			return err
+		}
+		ft.shadow.NoteOwned(addr, data)
 	}
-	ft.shadow = shadow
-	ft.genSeen = ft.dev.Generation()
+	ft.genSeen = g
 	return nil
 }
 
@@ -77,10 +109,13 @@ type Edit struct {
 	On   bool
 }
 
-// Apply delivers a set of edits as frame writes, one frame at a time (so the
-// verify hook can check quiescence after every frame, like probing the
-// running device). Edits to the same frame coalesce into one write; frames
-// are written in first-touched order.
+// Apply delivers a set of edits as frame writes. Edits to the same frame
+// coalesce into one write; frames are staged in first-touched order. Outside
+// a batch the staged frames flush as one partial bitstream before Apply
+// returns; inside a batch they coalesce with neighbouring operations until
+// the batch ends (or a caller forces a Flush). When VerifyHook or
+// ReadbackVerify is set, every frame streams individually and the hook runs
+// after each, preserving the cautious per-frame probing mode.
 func (ft *FrameTool) Apply(edits []Edit) error {
 	if len(edits) == 0 {
 		return nil
@@ -88,33 +123,35 @@ func (ft *FrameTool) Apply(edits []Edit) error {
 	if err := ft.sync(); err != nil {
 		return err
 	}
-	type pending struct {
-		data []uint32
-	}
 	order := []fabric.FrameAddr{}
-	frames := map[fabric.FrameAddr]*pending{}
+	frames := map[fabric.FrameAddr][]uint32{}
 	for _, e := range edits {
-		p := frames[e.Addr]
-		if p == nil {
+		data, seen := frames[e.Addr]
+		if !seen {
 			base, ok := ft.shadow.Frame(e.Addr)
 			if !ok {
 				return fmt.Errorf("relocate: no shadow for frame %v", e.Addr)
 			}
-			cp := make([]uint32, len(base))
-			copy(cp, base)
-			p = &pending{data: cp}
-			frames[e.Addr] = p
+			data = make([]uint32, len(base))
+			copy(data, base)
+			frames[e.Addr] = data
 			order = append(order, e.Addr)
 		}
 		if e.On {
-			p.data[e.Bit/32] |= 1 << (e.Bit % 32)
+			data[e.Bit/32] |= 1 << (e.Bit % 32)
 		} else {
-			p.data[e.Bit/32] &^= 1 << (e.Bit % 32)
+			data[e.Bit/32] &^= 1 << (e.Bit % 32)
 		}
 	}
+	perFrame := ft.VerifyHook != nil || ft.ReadbackVerify
 	for _, addr := range order {
-		p := frames[addr]
-		if err := ft.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: p.data}}); err != nil {
+		if err := ft.stage(addr, frames[addr]); err != nil {
+			return err
+		}
+		if !perFrame {
+			continue
+		}
+		if err := ft.Flush(); err != nil {
 			return err
 		}
 		if ft.ReadbackVerify {
@@ -122,22 +159,182 @@ func (ft *FrameTool) Apply(edits []Edit) error {
 			if err != nil {
 				return fmt.Errorf("relocate: readback of %v: %w", addr, err)
 			}
+			want, _ := ft.shadow.Frame(addr)
 			for i := range got {
-				if got[i] != p.data[i] {
+				if got[i] != want[i] {
 					return fmt.Errorf("relocate: readback mismatch in %v word %d", addr, i)
 				}
 			}
 		}
-		ft.shadow.Note(addr, p.data)
-		ft.genSeen = ft.dev.Generation()
-		ft.frames++
 		if ft.VerifyHook != nil {
 			if err := ft.VerifyHook(); err != nil {
 				return fmt.Errorf("relocate: after writing %v: %w", addr, err)
 			}
 		}
 	}
+	if ft.batchDepth == 0 {
+		return ft.Flush()
+	}
 	return nil
+}
+
+// stage commits one frame write: the shadow and the device take the data
+// immediately (write-through, so every read path stays coherent inside a
+// batch), and the frame joins the pending set. A frame staged twice in one
+// batch streams once — Flush reads the shadow, which holds the final data.
+// The slice is owned by the tool from here on.
+func (ft *FrameTool) stage(addr fabric.FrameAddr, data []uint32) error {
+	ft.shadow.NoteOwned(addr, data)
+	if err := ft.dev.WriteFrame(addr.Major, addr.Minor, data); err != nil {
+		return err
+	}
+	ft.genSeen = ft.dev.Generation()
+	ft.frames++
+	if !ft.touchSet[addr] {
+		ft.touchSet[addr] = true
+		ft.touched = append(ft.touched, addr)
+	}
+	if !ft.pendingSet[addr] {
+		ft.pendingSet[addr] = true
+		ft.pending = append(ft.pending, addr)
+	}
+	return nil
+}
+
+// Flush streams every pending frame through the port as one partial
+// bitstream, sorted by frame address so consecutive frames share FDRI
+// bursts. It is a no-op when nothing is pending.
+//
+// Designer-path writes may have landed since the frames were staged — in a
+// batched plan, a Load places directly onto the device between two ops'
+// tool writes, possibly into frames that are also pending here (one frame
+// carries bits of every row of its column). So Flush first reconciles the
+// shadow with the device (capturing those writes' pre-images into any open
+// snapshots) and re-reads each pending frame from the reconciled shadow, so
+// the port delivers the merged content and the generation cursor never
+// jumps over a write the flush did not itself produce.
+func (ft *FrameTool) Flush() error {
+	if len(ft.pending) == 0 {
+		return nil
+	}
+	if err := ft.sync(); err != nil {
+		return err
+	}
+	addrs := ft.pending
+	ft.pending = nil
+	ft.pendingSet = make(map[fabric.FrameAddr]bool)
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Major != addrs[j].Major {
+			return addrs[i].Major < addrs[j].Major
+		}
+		return addrs[i].Minor < addrs[j].Minor
+	})
+	updates := make([]bitstream.FrameUpdate, 0, len(addrs))
+	for _, addr := range addrs {
+		data, ok := ft.shadow.Frame(addr)
+		if !ok {
+			return fmt.Errorf("relocate: pending frame %v missing from shadow", addr)
+		}
+		updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
+	}
+	if err := ft.port.WriteUpdates(updates); err != nil {
+		return err
+	}
+	// The controller re-wrote the same data the reconciled shadow holds;
+	// fold exactly those generation bumps in so the next sync stays a
+	// no-op.
+	ft.genSeen = ft.dev.Generation()
+	return nil
+}
+
+// BeginBatch opens (or nests) a coalescing batch: staged frames accumulate
+// until the outermost EndBatch, a Flush, or a per-frame verification mode
+// forces delivery.
+func (ft *FrameTool) BeginBatch() { ft.batchDepth++ }
+
+// EndBatch closes one batch level and flushes when the outermost level
+// closes.
+func (ft *FrameTool) EndBatch() error {
+	if ft.batchDepth > 0 {
+		ft.batchDepth--
+	}
+	if ft.batchDepth == 0 {
+		return ft.Flush()
+	}
+	return nil
+}
+
+// InBatch runs fn inside one batch level. The batch always closes — a
+// failing fn still gets its pending frames flushed (they are dead only if
+// the caller rolls back, which drops them via AbortPending) — and a flush
+// failure surfaces only when fn itself succeeded.
+func (ft *FrameTool) InBatch(fn func() error) error {
+	ft.BeginBatch()
+	err := fn()
+	if endErr := ft.EndBatch(); err == nil {
+		err = endErr
+	}
+	return err
+}
+
+// AbortPending drops the pending stream without delivering it. Used by
+// rollback: the recovery bitstream supersedes whatever the failed operation
+// still had queued (the device already took the staged writes, and the
+// recovery stream overwrites them).
+func (ft *FrameTool) AbortPending() {
+	ft.pending = nil
+	ft.pendingSet = make(map[fabric.FrameAddr]bool)
+}
+
+// MarkTouched resets the touched-frame recording and returns. The engine
+// brackets each relocation with MarkTouched/TouchedFrames so every CellMove
+// reports exactly the frame set it wrote.
+func (ft *FrameTool) MarkTouched() {
+	ft.touched = ft.touched[:0]
+	for addr := range ft.touchSet {
+		delete(ft.touchSet, addr)
+	}
+}
+
+// TouchedFrames returns a copy of the distinct frames staged since the last
+// MarkTouched, in first-touched order.
+func (ft *FrameTool) TouchedFrames() []fabric.FrameAddr {
+	out := make([]fabric.FrameAddr, len(ft.touched))
+	copy(out, ft.touched)
+	return out
+}
+
+// BeginSnapshot synchronises the shadow with the device and opens a
+// frame-granular copy-on-write checkpoint: from here on the shadow saves the
+// pre-image of every frame that changes (tool writes and designer-path
+// writes alike — the latter are captured by the next sync), so a rollback
+// replays only what the operation touched.
+func (ft *FrameTool) BeginSnapshot() (*bitstream.Snapshot, error) {
+	if err := ft.sync(); err != nil {
+		return nil, err
+	}
+	return ft.shadow.Begin(), nil
+}
+
+// RecoveryWords builds the partial recovery stream for a snapshot taken with
+// BeginSnapshot. It synchronises first so designer-path writes since the
+// checkpoint are part of the dirty set.
+func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
+	if err := ft.sync(); err != nil {
+		return nil, err
+	}
+	return snap.RecoveryWords(), nil
+}
+
+// CompleteRestore finishes a rollback after the recovery stream was fed to
+// the configuration logic: the pending (dead) stream of the failed operation
+// is dropped, the shadow rolls back to the checkpoint state, and the
+// generation cursor catches up with the recovery writes. The snapshot stays
+// armed, so the same checkpoint can back another attempt.
+func (ft *FrameTool) CompleteRestore(snap *bitstream.Snapshot) {
+	ft.AbortPending()
+	snap.Rollback()
+	ft.genSeen = ft.dev.Generation()
 }
 
 // cellEdits builds the edits that set a cell's configuration word.

@@ -1,8 +1,10 @@
 package relocate_test
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/bitstream"
 	"repro/internal/fabric"
 	"repro/internal/itc99"
 	"repro/internal/netlist"
@@ -119,6 +121,247 @@ func contains(s, sub string) bool {
 		}
 	}
 	return false
+}
+
+// flakyPort wraps a Port and injects a mid-stream failure: once its frame
+// budget is exhausted, WriteUpdates delivers a prefix of the requested
+// frames and then errors — the partial-delivery case a real configuration
+// port can produce.
+type flakyPort struct {
+	inner  bitstream.Port
+	budget int // frames still deliverable; < 0 = unlimited
+}
+
+func (f *flakyPort) WriteUpdates(updates []bitstream.FrameUpdate) error {
+	if f.budget < 0 {
+		return f.inner.WriteUpdates(updates)
+	}
+	if len(updates) <= f.budget {
+		f.budget -= len(updates)
+		return f.inner.WriteUpdates(updates)
+	}
+	k := f.budget
+	f.budget = 0
+	if k > 0 {
+		if err := f.inner.WriteUpdates(updates[:k]); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("flaky port: injected failure after %d frames", k)
+}
+
+func (f *flakyPort) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
+	return f.inner.ReadFrame(addr)
+}
+func (f *flakyPort) Elapsed() float64 { return f.inner.Elapsed() }
+func (f *flakyPort) Name() string     { return f.inner.Name() }
+
+// TestPartialCheckpointBitIdentical is the checkpoint-correctness property:
+// after a relocation aborted by a mid-stream write failure (plus a
+// designer-path scribble the tool only sees at the next sync), restoring the
+// frame-granular copy-on-write checkpoint must leave every configuration
+// frame bit-identical to the full-shadow clone taken at the same instant —
+// which is exactly what the old full-restore path streamed back.
+func TestPartialCheckpointBitIdentical(t *testing.T) {
+	styles := []itc99.Style{itc99.FreeRunning, itc99.GatedClock}
+	budgets := []int{0, 1, 3, 7, 15}
+	for _, style := range styles {
+		for _, budget := range budgets {
+			dev := fabric.NewDevice(fabric.XCV50)
+			nl := itc99.Generate(itc99.GenConfig{
+				Name: "ckpt", Inputs: 3, Outputs: 2, FFs: 5, LUTs: 10,
+				Seed: 42 + uint64(budget), Style: style, CEFraction: 0.7,
+			})
+			region, err := place.AutoRegion(dev, nl, 2, 2, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := place.Place(dev, nl, place.Options{Region: region})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl := bitstream.NewController(dev)
+			port := &flakyPort{inner: bitstream.NewParallelPort(ctrl, 50e6), budget: -1}
+			eng, err := relocate.NewEngine(dev, port)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.MaxCyclesPerWait = 0
+
+			// Checkpoint both ways at the same instant: the full shadow
+			// clone is the reference, the snapshot is the system under
+			// test.
+			full := eng.Tool.Shadow().Clone()
+			snap, err := eng.Tool.BeginSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// A designer-path write the tool has not synced yet: partial
+			// restore must roll it back too.
+			scribble := fabric.Coord{Row: 14, Col: 20}
+			dev.SetPIPMask(scribble, 0, 1)
+
+			var from fabric.CellRef
+			found := false
+			for id, nd := range nl.Nodes {
+				if nd.Kind != netlist.KindFF {
+					continue
+				}
+				if ref, ok := d.CellOf[netlist.ID(id)]; ok {
+					from, found = ref, true
+					break
+				}
+			}
+			if !found {
+				t.Fatal("no FF cell placed")
+			}
+			to := fabric.CellRef{Coord: fabric.Coord{Row: 12, Col: 18}, Cell: from.Cell}
+			port.budget = budget
+			_, err = eng.RelocateCell(from, to)
+			if err == nil {
+				t.Fatalf("style=%v budget=%d: relocation survived the flaky port", style, budget)
+			}
+
+			// Frame-granular restore: replay only the dirty pre-images.
+			port.budget = -1
+			words, err := eng.Tool.RecoveryWords(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(words) > 0 {
+				if err := ctrl.Feed(words...); err != nil {
+					t.Fatalf("recovery stream rejected: %v", err)
+				}
+			}
+			eng.Tool.CompleteRestore(snap)
+			snap.Release()
+
+			// Bit-identity against the full-shadow checkpoint, every frame
+			// of the device.
+			for _, col := range dev.Columns() {
+				for m := 0; m < col.Frames; m++ {
+					addr := fabric.FrameAddr{Major: col.Major, Minor: m}
+					got, err := dev.ReadFrame(addr.Major, addr.Minor)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, ok := full.Frame(addr)
+					if !ok {
+						t.Fatalf("full shadow misses frame %v", addr)
+					}
+					for w := range got {
+						if got[w] != want[w] {
+							t.Fatalf("style=%v budget=%d: frame %v word %d: got %#x want %#x",
+								style, budget, addr, w, got[w], want[w])
+						}
+					}
+					// The tool's live shadow must agree as well.
+					sh, ok := eng.Tool.Shadow().Frame(addr)
+					if !ok {
+						t.Fatalf("live shadow misses frame %v", addr)
+					}
+					for w := range got {
+						if sh[w] != got[w] {
+							t.Fatalf("shadow diverges at %v word %d", addr, w)
+						}
+					}
+				}
+			}
+
+			// The restored system keeps working: the same move succeeds —
+			// and the engine's reported frame set is exactly the dirty set
+			// a checkpoint must cover (the two mechanisms agree).
+			check, err := eng.Tool.BeginSnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mv, err := eng.RelocateCell(from, to)
+			if err != nil {
+				t.Fatalf("style=%v budget=%d: post-restore relocation: %v", style, budget, err)
+			}
+			reported := map[fabric.FrameAddr]bool{}
+			for _, addr := range mv.TouchedFrames {
+				reported[addr] = true
+			}
+			dirty := check.Frames()
+			if len(dirty) == 0 || len(dirty) != len(reported) {
+				t.Fatalf("snapshot dirty set %d frames, engine reported %d", len(dirty), len(reported))
+			}
+			for _, addr := range dirty {
+				if !reported[addr] {
+					t.Fatalf("frame %v dirtied but not in CellMove.TouchedFrames", addr)
+				}
+			}
+			check.Release()
+		}
+	}
+}
+
+// TestBatchFlushReconcilesDesignerWrites covers the batched-commit hazard:
+// designer-path writes landing between two tool writes of one batch (a
+// Load placing directly onto the device mid-plan) must (a) survive the
+// flush even when they share a frame with a pending tool write — one frame
+// carries bits of every row of its column — and (b) stay visible to the
+// rollback machinery, so restoring the checkpoint reverts them.
+func TestBatchFlushReconcilesDesignerWrites(t *testing.T) {
+	dev := fabric.NewDevice(fabric.TestDevice)
+	ctrl := bitstream.NewController(dev)
+	eng, err := relocate.NewEngine(dev, bitstream.NewParallelPort(ctrl, 50e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := eng.Tool
+	snap, err := ft.BeginSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tool write through a batch: cell 0 of R0C2 (stays pending).
+	toolRef := fabric.CellRef{Coord: fabric.Coord{Row: 0, Col: 2}, Cell: 0}
+	toolCfg := fabric.CellConfig{Used: true, LUT: fabric.LUTConst1}
+	ft.BeginBatch()
+	if err := ft.WriteCell(toolRef, toolCfg); err != nil {
+		t.Fatal(err)
+	}
+	// Designer write into the SAME column, different row: shares frames
+	// with the pending tool write.
+	sameColRef := fabric.CellRef{Coord: fabric.Coord{Row: 3, Col: 2}, Cell: 1}
+	dev.WriteCell(sameColRef, fabric.CellConfig{Used: true, LUT: fabric.LUTConst0, FF: true})
+	// And one in an unrelated column.
+	otherRef := fabric.CellRef{Coord: fabric.Coord{Row: 5, Col: 7}, Cell: 2}
+	dev.WriteCell(otherRef, fabric.CellConfig{Used: true, LUT: fabric.LUTConst1})
+	if err := ft.EndBatch(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Nothing got clobbered by the flush.
+	if got := dev.ReadCell(toolRef); !got.Used {
+		t.Fatal("tool write lost")
+	}
+	if got := dev.ReadCell(sameColRef); !got.Used || !got.FF {
+		t.Fatalf("designer write sharing a frame clobbered by flush: %+v", got)
+	}
+	if got := dev.ReadCell(otherRef); !got.Used {
+		t.Fatal("designer write in other column lost")
+	}
+
+	// (b) Rollback reverts tool AND designer writes: the flush must not
+	// advance the sync cursor past generations it did not produce.
+	words, err := ft.RecoveryWords(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Feed(words...); err != nil {
+		t.Fatal(err)
+	}
+	ft.CompleteRestore(snap)
+	snap.Release()
+	for _, ref := range []fabric.CellRef{toolRef, sameColRef, otherRef} {
+		if got := dev.ReadCell(ref); got.Used {
+			t.Fatalf("cell %v survived rollback: %+v", ref, got)
+		}
+	}
 }
 
 // TestRelocationAtomicityOnPlanFailure: a failed plan (busy destination,

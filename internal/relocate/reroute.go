@@ -57,8 +57,10 @@ func (e *Engine) RerouteSink(sinkTile fabric.Coord, sinkLocal int) (*NetMove, er
 	}
 	sink := e.Dev.NodeIDAt(sinkTile, sinkLocal)
 
-	// Route the replica path with free resources only.
-	r := route.NewRouter(e.Dev)
+	// Route the replica path with free resources only (the engine's router
+	// is reused; Reset is O(1) and keeps the fanout cache warm).
+	r := e.router
+	r.Reset()
 	for n := range e.view.used {
 		r.Block(n)
 	}
@@ -123,7 +125,8 @@ func (e *Engine) RerouteSinkVia(sinkTile fabric.Coord, sinkLocal int, avoid []fa
 		return nil, err
 	}
 	sink := e.Dev.NodeIDAt(sinkTile, sinkLocal)
-	r := route.NewRouter(e.Dev)
+	r := e.router
+	r.Reset()
 	for n := range e.view.used {
 		r.Block(n)
 	}

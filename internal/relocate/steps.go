@@ -9,12 +9,17 @@ import (
 
 // execute runs the Fig. 4 procedure for a planned cell relocation. Every
 // action is a partial-reconfiguration frame write; application clock cycles
-// elapse between steps via e.tick.
+// elapse between steps via e.tick. The whole procedure runs inside one
+// coalescing batch: frame writes between consecutive wait points stream as a
+// single sync/CRC-bracketed partial bitstream (ticks flush, so the paper's
+// ordering of configuration actions against clock edges is preserved).
 func (e *Engine) execute(p *cellPlan) error {
-	if p.needsAux {
-		return e.executeGated(p)
-	}
-	return e.executePlain(p)
+	return e.Tool.InBatch(func() error {
+		if p.needsAux {
+			return e.executeGated(p)
+		}
+		return e.executePlain(p)
+	})
 }
 
 // executePlain is the two-phase procedure of Fig. 2 for combinational cells

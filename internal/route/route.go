@@ -7,9 +7,7 @@
 package route
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"repro/internal/fabric"
 )
@@ -60,48 +58,138 @@ func nodeDelay(dev *fabric.Device, n fabric.NodeID) float64 {
 }
 
 // Router routes sets of nets over a device with negotiated congestion.
+//
+// A Router is built once and reused: all per-session state (blocked nodes,
+// congestion history, usage counts) and all per-search state (the A* open
+// set, cost and predecessor tables) live in epoch-stamped arrays indexed by
+// NodeID, so Reset and every search start are O(1) instead of reallocating
+// device-sized tables. The lazy fanout cache likewise persists across
+// searches — relocation engines route thousands of nets over the same
+// topology, and the cache warms exactly once.
 type Router struct {
 	dev *fabric.Device
-	// Blocked nodes are off-limits (owned by other functions on the
-	// device); the router never expands them.
-	blocked map[fabric.NodeID]bool
 	// MaxIters bounds the negotiation rounds.
 	MaxIters int
 
-	adj     [][]fabric.NodeID // lazy fanout cache, indexed by NodeID
-	history []float64         // PathFinder history cost
-	present []int             // current usage count
+	adj [][]fabric.NodeID // lazy fanout cache, indexed by NodeID
+
+	// Session state, valid while its stamp equals epoch (Reset bumps the
+	// epoch, invalidating everything at once).
+	epoch     uint64
+	blockedAt []uint64
+	history   []float64 // PathFinder history cost
+	historyAt []uint64
+	present   []int32 // current usage count
+	presentAt []uint64
+	owner     []int32 // net index last routed over the node
+	ownerAt   []uint64
+
+	// Per-search state (one routeOne call), stamped with searchEpoch.
+	searchEpoch uint64
+	prev        []fabric.NodeID
+	prevAt      []uint64
+	best        []float64
+	bestAt      []uint64
+
+	// Per-net tree membership, stamped with treeEpoch.
+	treeEpoch uint64
+	treeAt    []uint64
+
+	q pq // reusable open set
 }
 
 // NewRouter creates a router over a device.
 func NewRouter(dev *fabric.Device) *Router {
 	n := int(dev.PadBase()) + dev.NumPads()
 	return &Router{
-		dev:      dev,
-		blocked:  make(map[fabric.NodeID]bool),
-		MaxIters: 40,
-		adj:      make([][]fabric.NodeID, n),
-		history:  make([]float64, n),
-		present:  make([]int, n),
+		dev:         dev,
+		MaxIters:    40,
+		adj:         make([][]fabric.NodeID, n),
+		epoch:       1,
+		blockedAt:   make([]uint64, n),
+		history:     make([]float64, n),
+		historyAt:   make([]uint64, n),
+		present:     make([]int32, n),
+		presentAt:   make([]uint64, n),
+		owner:       make([]int32, n),
+		ownerAt:     make([]uint64, n),
+		searchEpoch: 1,
+		prev:        make([]fabric.NodeID, n),
+		prevAt:      make([]uint64, n),
+		best:        make([]float64, n),
+		bestAt:      make([]uint64, n),
+		treeEpoch:   1,
+		treeAt:      make([]uint64, n),
 	}
 }
+
+// Reset returns the router to its freshly-constructed state — no blocked
+// nodes, no congestion history — in O(1). Callers that previously built a
+// new router per operation reuse one this way, keeping the fanout cache.
+func (r *Router) Reset() { r.epoch++ }
 
 // Block marks nodes as unusable (owned by other circuitry).
 func (r *Router) Block(nodes ...fabric.NodeID) {
 	for _, n := range nodes {
-		r.blocked[n] = true
+		r.blockedAt[n] = r.epoch
 	}
 }
 
 // Unblock releases nodes.
 func (r *Router) Unblock(nodes ...fabric.NodeID) {
 	for _, n := range nodes {
-		delete(r.blocked, n)
+		r.blockedAt[n] = 0
 	}
 }
 
 // Blocked reports whether a node is blocked.
-func (r *Router) Blocked(n fabric.NodeID) bool { return r.blocked[n] }
+func (r *Router) Blocked(n fabric.NodeID) bool { return r.blockedAt[n] == r.epoch }
+
+func (r *Router) historyOf(n fabric.NodeID) float64 {
+	if r.historyAt[n] == r.epoch {
+		return r.history[n]
+	}
+	return 0
+}
+
+func (r *Router) addHistory(n fabric.NodeID, d float64) {
+	if r.historyAt[n] != r.epoch {
+		r.historyAt[n] = r.epoch
+		r.history[n] = 0
+	}
+	r.history[n] += d
+}
+
+func (r *Router) presentOf(n fabric.NodeID) int32 {
+	if r.presentAt[n] == r.epoch {
+		return r.present[n]
+	}
+	return 0
+}
+
+func (r *Router) addPresent(n fabric.NodeID, d int32) int32 {
+	if r.presentAt[n] != r.epoch {
+		r.presentAt[n] = r.epoch
+		r.present[n] = 0
+	}
+	r.present[n] += d
+	return r.present[n]
+}
+
+// ownerOf returns the owning net index, or -1 when unowned.
+func (r *Router) ownerOf(n fabric.NodeID) int32 {
+	if r.ownerAt[n] == r.epoch {
+		return r.owner[n]
+	}
+	return -1
+}
+
+func (r *Router) setOwner(n fabric.NodeID, idx int32) {
+	r.ownerAt[n] = r.epoch
+	r.owner[n] = idx
+}
+
+func (r *Router) clearOwner(n fabric.NodeID) { r.ownerAt[n] = 0 }
 
 func (r *Router) fanout(n fabric.NodeID) []fabric.NodeID {
 	if cached := r.adj[n]; cached != nil {
@@ -126,23 +214,56 @@ type item struct {
 	est  float64
 }
 
+// pq is a typed binary min-heap on (est, node) — the node tie-break keeps
+// expansion deterministic. Hand-rolled to avoid container/heap's interface
+// boxing on every push and pop.
 type pq []item
 
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
-	if p[i].est != p[j].est {
-		return p[i].est < p[j].est
+func pqLess(a, b item) bool {
+	if a.est != b.est {
+		return a.est < b.est
 	}
-	return p[i].node < p[j].node // deterministic tie-break
+	return a.node < b.node
 }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(item)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
+
+func (p *pq) push(it item) {
+	*p = append(*p, it)
+	q := *p
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !pqLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (p *pq) pop() item {
+	q := *p
+	top := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	*p = q
+	i := 0
+	for {
+		l, rgt := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q) && pqLess(q[l], q[smallest]) {
+			smallest = l
+		}
+		if rgt < len(q) && pqLess(q[rgt], q[smallest]) {
+			smallest = rgt
+		}
+		if smallest == i {
+			break
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
+	return top
 }
 
 // tileOf returns the coordinate used for the A* heuristic.
@@ -167,90 +288,89 @@ func (r *Router) tileOf(n fabric.NodeID) fabric.Coord {
 // cover six tiles for 1.1 ns), keeping A* admissible.
 const heuristicPerTile = 1.1 / 6
 
-// routeOne expands from the current net tree to one sink. presentFactor
-// scales the congestion penalty. Returns the path from a tree node to the
-// sink.
-func (r *Router) routeOne(treeNodes map[fabric.NodeID]bool, sink fabric.NodeID,
-	owner map[fabric.NodeID]int, netIdx int, presentFactor float64) ([]fabric.NodeID, error) {
+// routeOne expands from the current net tree (stamped into treeAt by the
+// caller) to one sink. presentFactor scales the congestion penalty. Returns
+// the path from a tree node to the sink.
+func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
+	netIdx int32, presentFactor float64) ([]fabric.NodeID, error) {
 
 	// Pad sinks are reached through their candidate pre-pad wires.
-	prePad := map[fabric.NodeID]bool{}
+	var prePad []fabric.NodeID
 	target := sink
 	sinkTile := r.tileOf(sink)
 	if pad, ok := r.dev.PadOfNode(sink); ok {
-		for _, n := range r.dev.PadOutSourceNodes(pad) {
-			prePad[n] = true
+		prePad = r.dev.PadOutSourceNodes(pad)
+	}
+	isPrePad := func(n fabric.NodeID) bool {
+		for _, p := range prePad {
+			if p == n {
+				return true
+			}
 		}
+		return false
 	}
 
-	prev := map[fabric.NodeID]fabric.NodeID{}
-	best := map[fabric.NodeID]float64{}
-	seeds := make([]fabric.NodeID, 0, len(treeNodes))
-	for n := range treeNodes {
-		seeds = append(seeds, n)
-	}
-	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
-	var q pq
+	r.searchEpoch++
+	se := r.searchEpoch
+	r.q = r.q[:0]
 	for _, n := range seeds {
-		q = append(q, item{node: n, cost: 0, est: float64(r.tileOf(n).ManhattanDist(sinkTile)) * heuristicPerTile})
-		best[n] = 0
-		prev[n] = fabric.InvalidNode
+		r.q.push(item{node: n, cost: 0, est: float64(r.tileOf(n).ManhattanDist(sinkTile)) * heuristicPerTile})
+		r.best[n], r.bestAt[n] = 0, se
+		r.prev[n], r.prevAt[n] = fabric.InvalidNode, se
 	}
-	heap.Init(&q)
+
+	reconstruct := func(from fabric.NodeID) []fabric.NodeID {
+		var path []fabric.NodeID
+		for n := from; n != fabric.InvalidNode; {
+			path = append(path, n)
+			if r.treeAt[n] == r.treeEpoch {
+				break
+			}
+			if r.prevAt[n] != se {
+				break
+			}
+			n = r.prev[n]
+		}
+		reverse(path)
+		return path
+	}
 
 	expand := func(cur fabric.NodeID, curCost float64, nxt fabric.NodeID) {
 		// The target itself may be "in use" (an already-driven pin being
 		// connected in PARALLEL — the relocation procedure's core move);
 		// only intermediate nodes must be free.
-		if r.blocked[nxt] && nxt != target {
+		if r.blockedAt[nxt] == r.epoch && nxt != target {
 			return
 		}
 		// Nodes owned by another net cost extra (negotiation) instead of
 		// being forbidden outright.
 		penalty := 0.0
-		if o, used := owner[nxt]; used && o != netIdx {
-			penalty = presentFactor * (1 + float64(r.present[nxt]))
+		if o := r.ownerOf(nxt); o >= 0 && o != netIdx {
+			penalty = presentFactor * (1 + float64(r.presentOf(nxt)))
 		}
-		c := curCost + nodeDelay(r.dev, nxt) + r.history[nxt] + penalty + 0.01
-		if b, seen := best[nxt]; seen && b <= c {
+		c := curCost + nodeDelay(r.dev, nxt) + r.historyOf(nxt) + penalty + 0.01
+		if r.bestAt[nxt] == se && r.best[nxt] <= c {
 			return
 		}
-		best[nxt] = c
-		prev[nxt] = cur
+		r.best[nxt], r.bestAt[nxt] = c, se
+		r.prev[nxt], r.prevAt[nxt] = cur, se
 		est := c + float64(r.tileOf(nxt).ManhattanDist(sinkTile))*heuristicPerTile
-		heap.Push(&q, item{node: nxt, cost: c, est: est})
+		r.q.push(item{node: nxt, cost: c, est: est})
 	}
 
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(item)
-		if it.cost > best[it.node] {
+	for len(r.q) > 0 {
+		it := r.q.pop()
+		if it.cost > r.best[it.node] {
 			continue
 		}
 		if it.node == target {
-			// Reconstruct.
-			var path []fabric.NodeID
-			for n := it.node; n != fabric.InvalidNode; n = prev[n] {
-				path = append(path, n)
-				if treeNodes[n] {
-					break
-				}
-			}
-			reverse(path)
-			return path, nil
+			return reconstruct(it.node), nil
 		}
-		if prePad[it.node] {
+		if isPrePad(it.node) {
 			// One more hop into the pad.
-			prev[target] = it.node
-			best[target] = it.cost
-			var path []fabric.NodeID
-			for n := target; n != fabric.InvalidNode; n = prev[n] {
-				path = append(path, n)
-				if treeNodes[n] {
-					break
-				}
-			}
-			reverse(path)
-			return path, nil
+			r.prev[target], r.prevAt[target] = it.node, se
+			r.best[target], r.bestAt[target] = it.cost, se
+			return reconstruct(target), nil
 		}
 		for _, nxt := range r.fanout(it.node) {
 			expand(it.node, it.cost, nxt)
@@ -270,7 +390,6 @@ func reverse(p []fabric.NodeID) {
 // rounds.
 func (r *Router) RouteAll(nets []Net) ([]RoutedNet, error) {
 	routed := make([]RoutedNet, len(nets))
-	owner := map[fabric.NodeID]int{} // node -> net index (last routed)
 	presentFactor := 0.5
 
 	for iter := 0; iter < r.MaxIters; iter++ {
@@ -279,29 +398,28 @@ func (r *Router) RouteAll(nets []Net) ([]RoutedNet, error) {
 			// Rip up previous route of this net.
 			if routed[i].Tree != nil {
 				for _, n := range routed[i].Tree {
-					r.present[n]--
-					if r.present[n] == 0 {
-						delete(owner, n)
+					if r.addPresent(n, -1) == 0 {
+						r.clearOwner(n)
 					}
 				}
 			}
-			rn, err := r.routeNet(nets[i], owner, i, presentFactor)
+			rn, err := r.routeNet(nets[i], int32(i), presentFactor)
 			if err != nil {
 				return nil, fmt.Errorf("route: net %s: %w", nets[i].Name, err)
 			}
 			routed[i] = *rn
 			for _, n := range rn.Tree {
-				r.present[n]++
-				owner[n] = i
+				r.addPresent(n, 1)
+				r.setOwner(n, int32(i))
 			}
 		}
 		// Check for overuse (a node carrying 2+ nets).
 		overused := 0
 		for i := range routed {
 			for _, n := range routed[i].Tree {
-				if r.present[n] > 1 {
+				if r.presentOf(n) > 1 {
 					overused++
-					r.history[n] += 0.5
+					r.addHistory(n, 0.5)
 				}
 			}
 		}
@@ -315,17 +433,19 @@ func (r *Router) RouteAll(nets []Net) ([]RoutedNet, error) {
 
 // routeNet routes all sinks of one net as a Steiner-ish tree (each sink
 // reuses the partial tree).
-func (r *Router) routeNet(net Net, owner map[fabric.NodeID]int, netIdx int, presentFactor float64) (*RoutedNet, error) {
+func (r *Router) routeNet(net Net, netIdx int32, presentFactor float64) (*RoutedNet, error) {
 	if len(net.Sinks) == 0 {
 		return nil, fmt.Errorf("net has no sinks")
 	}
 	rn := &RoutedNet{Net: net, Paths: map[fabric.NodeID][]fabric.NodeID{}}
-	tree := map[fabric.NodeID]bool{net.Source: true}
+	r.treeEpoch++
+	r.treeAt[net.Source] = r.treeEpoch
+	seeds := []fabric.NodeID{net.Source}
 	// Track, for each tree node, the path from source to it so sink paths
 	// can be stitched.
 	toNode := map[fabric.NodeID][]fabric.NodeID{net.Source: {net.Source}}
 	for _, sink := range net.Sinks {
-		seg, err := r.routeOne(tree, sink, owner, netIdx, presentFactor)
+		seg, err := r.routeOne(seeds, sink, netIdx, presentFactor)
 		if err != nil {
 			return nil, err
 		}
@@ -337,14 +457,15 @@ func (r *Router) routeNet(net Net, owner map[fabric.NodeID]int, netIdx int, pres
 			if i == 0 {
 				continue
 			}
-			tree[n] = true
+			if r.treeAt[n] != r.treeEpoch {
+				r.treeAt[n] = r.treeEpoch
+				seeds = append(seeds, n)
+			}
 			toNode[n] = full[:len(full)-(len(seg)-1-i)]
 		}
 	}
-	rn.Tree = make([]fabric.NodeID, 0, len(tree))
-	for n := range tree {
-		rn.Tree = append(rn.Tree, n)
-	}
+	rn.Tree = make([]fabric.NodeID, len(seeds))
+	copy(rn.Tree, seeds)
 	return rn, nil
 }
 
@@ -355,7 +476,7 @@ func (r *Router) routeNet(net Net, owner map[fabric.NodeID]int, netIdx int, pres
 func (r *Router) RouteDisjoint(nets []Net) ([]RoutedNet, error) {
 	routed := make([]RoutedNet, 0, len(nets))
 	for i, net := range nets {
-		rn, err := r.routeNet(net, map[fabric.NodeID]int{}, i, 0)
+		rn, err := r.routeNet(net, int32(i), 0)
 		if err != nil {
 			return nil, fmt.Errorf("route: net %s: %w", net.Name, err)
 		}

@@ -97,9 +97,14 @@ func (p *Plan) Validate() error {
 }
 
 // Commit validates and then executes the transaction under the system
-// lock. A validation failure leaves the system untouched; a physical
-// mid-plan failure streams the pre-commit recovery bitstream and restores
-// the book-keeping, so the commit is all-or-nothing either way.
+// lock. The whole plan is validated first (dry-run against the area
+// book-keeping), then executed under a single frame-granular checkpoint
+// covering the union of frames the ops touch, with the ops' frame writes
+// coalesced: independent operations stream as one batched, sync/CRC-
+// bracketed configuration between relocation wait points instead of one
+// stream per frame. A validation failure leaves the system untouched; a
+// physical mid-plan failure streams the pre-commit recovery frames and
+// restores the book-keeping, so the commit is all-or-nothing either way.
 func (p *Plan) Commit() error {
 	s := p.sys
 	s.mu.Lock()
@@ -111,12 +116,18 @@ func (p *Plan) Commit() error {
 	if err != nil {
 		return err
 	}
-	for i, op := range p.ops {
-		if err := s.executeOpLocked(op); err != nil {
-			err = fmt.Errorf("rlm: plan op %d (%s): %w", i, op, err)
-			s.restoreLocked(snap, err)
-			return err
+	defer s.releaseCheckpointLocked(snap)
+	execErr := s.engine.Tool.InBatch(func() error {
+		for i, op := range p.ops {
+			if err := s.executeOpLocked(op); err != nil {
+				return fmt.Errorf("rlm: plan op %d (%s): %w", i, op, err)
+			}
 		}
+		return nil
+	})
+	if execErr != nil {
+		s.restoreLocked(snap, execErr)
+		return execErr
 	}
 	return nil
 }

@@ -216,6 +216,7 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 	if err != nil {
 		return nil, err
 	}
+	defer s.releaseCheckpointLocked(snap)
 	d, err := s.loadRaw(nl, region)
 	if err != nil {
 		s.restoreLocked(snap, err)
@@ -292,6 +293,7 @@ func (s *System) Unload(name string) error {
 	if err != nil {
 		return err
 	}
+	defer s.releaseCheckpointLocked(snap)
 	if err := s.unloadRaw(name); err != nil {
 		s.restoreLocked(snap, err)
 		return fmt.Errorf("rlm: unloading %q: %w", name, err)
@@ -300,31 +302,15 @@ func (s *System) Unload(name string) error {
 }
 
 // unloadRaw performs the unload without checkpointing; the caller owns
-// rollback. The router and area book-keeping are consistent on success.
+// rollback. The router and area book-keeping are consistent on success. The
+// engine writes run in one coalescing batch, so the whole decommission
+// streams as a single partial bitstream instead of one per frame.
 func (s *System) unloadRaw(name string) error {
+	if err := s.unloadFabricBatched(name); err != nil {
+		return err
+	}
 	d := s.designs[name]
-	// Release routing from every signal source (cell outputs, input pads).
-	srcs := make([]fabric.NodeID, 0, len(d.SourceOf))
-	for _, src := range d.SourceOf {
-		srcs = append(srcs, src)
-	}
-	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
-	for _, src := range srcs {
-		if err := s.engine.ReleaseTree(src); err != nil {
-			return err
-		}
-	}
-	// Clear cells.
-	for _, ref := range d.OccupiedCells() {
-		if err := s.engine.ClearCell(ref); err != nil {
-			return err
-		}
-	}
-	// Disable pads.
 	for _, p := range d.PadOf {
-		if err := s.engine.ClearPad(p); err != nil {
-			return err
-		}
 		delete(s.pads, p)
 	}
 	if err := s.area.Free(s.regions[name]); err != nil {
@@ -339,11 +325,45 @@ func (s *System) unloadRaw(name string) error {
 	return nil
 }
 
+// unloadFabricBatched releases a design's routing, cells and pads through
+// the configuration port as one batched stream.
+func (s *System) unloadFabricBatched(name string) error {
+	d := s.designs[name]
+	return s.engine.Tool.InBatch(func() error {
+		// Release routing from every signal source (cell outputs, input
+		// pads).
+		srcs := make([]fabric.NodeID, 0, len(d.SourceOf))
+		for _, src := range d.SourceOf {
+			srcs = append(srcs, src)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, src := range srcs {
+			if err := s.engine.ReleaseTree(src); err != nil {
+				return err
+			}
+		}
+		// Clear cells.
+		for _, ref := range d.OccupiedCells() {
+			if err := s.engine.ClearCell(ref); err != nil {
+				return err
+			}
+		}
+		// Disable pads.
+		for _, p := range d.PadOf {
+			if err := s.engine.ClearPad(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // rebuildRouterLocked rebuilds the shared router from the configuration
 // memory itself — the ground truth — so occupancy never goes stale across
 // relocations (per-design net lists do: they record the original routes).
+// The router object is reused: Reset is O(1) and keeps the fanout cache.
 func (s *System) rebuildRouterLocked() {
-	s.router = route.NewRouter(s.dev)
+	s.router.Reset()
 	s.router.Block(s.engine.OccupiedNodes()...)
 }
 
@@ -366,6 +386,7 @@ func (s *System) moveLocked(name string, to fabric.Rect) error {
 	if err != nil {
 		return err
 	}
+	defer s.releaseCheckpointLocked(snap)
 	if err := s.moveRaw(name, to); err != nil {
 		s.restoreLocked(snap, err)
 		return err
@@ -472,6 +493,7 @@ func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) erro
 	if err != nil {
 		return err
 	}
+	defer s.releaseCheckpointLocked(snap)
 	for _, next := range hops {
 		if err := s.moveRaw(name, next); err != nil {
 			err = fmt.Errorf("rlm: staged move via %v: %w", next, err)
@@ -534,10 +556,14 @@ func (s *System) Recover() error {
 	return nil
 }
 
-// checkpoint captures everything a rollback needs: the pre-operation
-// configuration (as a recovery shadow) plus the host-side book-keeping.
+// checkpoint captures everything a rollback needs: a frame-granular
+// copy-on-write snapshot of the pre-operation configuration (pre-images are
+// saved only for the frames the operation actually touches, reported by the
+// engine's write path) plus the host-side book-keeping. Checkpoints must be
+// released when the operation ends, whichever way it ends — an unreleased
+// snapshot would keep saving pre-images for every later operation.
 type checkpoint struct {
-	shadow  *bitstream.Shadow
+	snap    *bitstream.Snapshot
 	area    *area.Manager
 	pads    map[fabric.PadRef]bool
 	regions map[string]int
@@ -553,13 +579,14 @@ type designState struct {
 }
 
 func (s *System) checkpointLocked() (*checkpoint, error) {
-	// Make the tool's shadow current first (it lags behind designer-path
-	// writes until the next Sync).
-	if err := s.engine.Tool.Sync(); err != nil {
+	// BeginSnapshot syncs the shadow (it lags behind designer-path writes
+	// until then) and opens the copy-on-write epoch; nothing is copied yet.
+	snap, err := s.engine.Tool.BeginSnapshot()
+	if err != nil {
 		return nil, err
 	}
 	cp := &checkpoint{
-		shadow:  s.engine.Tool.Shadow().Clone(),
+		snap:    snap,
 		area:    s.area.Clone(),
 		pads:    make(map[fabric.PadRef]bool, len(s.pads)),
 		regions: make(map[string]int, len(s.regions)),
@@ -591,17 +618,36 @@ func (s *System) checkpointLocked() (*checkpoint, error) {
 }
 
 // restoreLocked rolls the device and all book-keeping back to a checkpoint
-// after a failed operation: the pre-operation configuration is streamed
-// through the controller (the paper's recovery path) and the host-side
-// state is reset to match. The checkpoint itself is left intact (only
-// copies are installed), so one checkpoint can back several rollbacks —
-// Defragment retries alternative plans against the same one. cause is
-// reported on the event stream.
+// after a failed operation: the pre-images of exactly the frames the
+// operation dirtied are streamed through the controller (the paper's
+// recovery path, now proportional to the change instead of the device) and
+// the host-side state is reset to match. The checkpoint itself stays armed,
+// so one checkpoint can back several rollbacks — Defragment retries
+// alternative plans against the same one. cause is reported on the event
+// stream.
 func (s *System) restoreLocked(cp *checkpoint, cause error) {
-	// The recovery stream rewrites every frame, so a partially executed
-	// operation cannot survive it.
-	_ = s.ctrl.Feed(cp.shadow.RecoveryBitstream()...)
-	_ = s.engine.Tool.Sync()
+	// RecoveryWords syncs first, so designer-path writes (a half-placed
+	// design) are part of the dirty set and cannot survive the rollback.
+	words, wordsErr := s.engine.Tool.RecoveryWords(cp.snap)
+	var feedErr error
+	if wordsErr == nil && len(words) > 0 {
+		feedErr = s.ctrl.Feed(words...)
+	}
+	s.engine.Tool.CompleteRestore(cp.snap)
+	if wordsErr != nil || feedErr != nil {
+		// The partial recovery stream could not be built or delivered.
+		// The shadow now holds the pre-operation state (CompleteRestore
+		// rolled it back host-side), so stream the FULL recovery bitstream
+		// — the paper's belt-and-braces path — and surface the failure on
+		// the event alongside the original cause.
+		recErr := wordsErr
+		if recErr == nil {
+			recErr = feedErr
+		}
+		_ = s.ctrl.Feed(s.engine.Tool.Shadow().RecoveryBitstream()...)
+		_ = s.engine.Tool.Sync()
+		cause = fmt.Errorf("%w (partial recovery failed, full recovery streamed: %v)", cause, recErr)
+	}
 	// Restore in place: Area() callers (e.g. a scheduler driving this
 	// system) keep a valid pointer across rollbacks.
 	s.area.CopyFrom(cp.area)
@@ -631,4 +677,12 @@ func (s *System) restoreLocked(cp *checkpoint, cause error) {
 	}
 	s.rebuildRouterLocked()
 	s.publish(Event{Kind: Recovered, Err: cause})
+}
+
+// releaseCheckpointLocked retires a checkpoint at the end of its operation
+// (success or final failure): the copy-on-write snapshot detaches and stops
+// accumulating pre-images. Safe to call after a restore — the snapshot
+// survives rollbacks so retry loops can reuse it — and safe to call twice.
+func (s *System) releaseCheckpointLocked(cp *checkpoint) {
+	cp.snap.Release()
 }
