@@ -356,6 +356,80 @@ func BenchmarkFig7Defrag(b *testing.B) {
 	}
 }
 
+// --- Host-side O(change): unload and checkpoint costs ----------------------
+
+// BenchmarkUnload measures decommissioning one design through the
+// configuration port. The engine's occupancy view is maintained
+// incrementally from the tool's touched-reporting, so the B/op and
+// allocs/op of an unload track the design's own routing and cells — run the
+// two device sizes to verify they do NOT scale with the device (the old
+// rescan-per-write path was O(cells x device)).
+func BenchmarkUnload(b *testing.B) {
+	for _, preset := range []fabric.Preset{fabric.XCV50, fabric.XCV800} {
+		b.Run(preset.Name, func(b *testing.B) {
+			sys, err := New(WithDevice(preset), WithPort(SelectMAP))
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl := itc99.Generate(itc99.GenConfig{
+				Name: "gen", Inputs: 3, Outputs: 2, FFs: 6, LUTs: 12,
+				Seed: 99, Style: itc99.FreeRunning,
+			})
+			region := fabric.Rect{Row: 4, Col: 6, H: 4, W: 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if _, err := sys.Load(nl, region); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sys.Unload("gen"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpoint measures opening and releasing a run-time-manager
+// checkpoint via a no-op operation (a staged move with zero hops), with
+// several designs resident. Checkpoints are copy-on-write on both sides —
+// frame snapshot and host book-keeping journal — so allocs/op here must not
+// scale with the resident design count (the old path cloned the area grid
+// plus every design's CellOf/SourceOf tables per checkpoint).
+func BenchmarkCheckpoint(b *testing.B) {
+	sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP))
+	if err != nil {
+		b.Fatal(err)
+	}
+	slots := []fabric.Rect{
+		{Row: 1, Col: 2, H: 4, W: 4}, {Row: 1, Col: 8, H: 4, W: 4},
+		{Row: 1, Col: 14, H: 4, W: 4}, {Row: 6, Col: 2, H: 4, W: 4},
+		{Row: 6, Col: 8, H: 4, W: 4}, {Row: 6, Col: 14, H: 4, W: 4},
+	}
+	for i, slot := range slots {
+		nl := itc99.Generate(itc99.GenConfig{
+			Name: fmt.Sprintf("d%d", i), Inputs: 2, Outputs: 1, FFs: 4, LUTs: 8,
+			Seed: uint64(100 + i), Style: itc99.FreeRunning,
+		})
+		if _, err := sys.Load(nl, slot); err != nil {
+			b.Fatal(err)
+		}
+	}
+	region, ok := sys.Region("d0")
+	if !ok {
+		b.Fatal("d0 not loaded")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.MoveStaged("d0", region, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- E8 / §2 headline: 22.6 ms mean CLB relocation time --------------------
 
 func BenchmarkTab226msRelocationTime(b *testing.B) {

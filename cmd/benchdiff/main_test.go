@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -51,5 +52,54 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 	}
 	if _, ok := parseLine("p", "BenchmarkBroken x 1 ns/op"); ok {
 		t.Fatal("accepted non-numeric iterations")
+	}
+}
+
+func bench(ns, b, allocs float64) Benchmark {
+	return Benchmark{Pkg: "p", Name: "B", Iterations: 1, NsPerOp: ns, BPerOp: b, AllocsPerOp: allocs}
+}
+
+func TestCompareDocsGatesMemoryTightly(t *testing.T) {
+	base := map[string]Benchmark{"p.B": bench(1000, 100000, 1000)}
+	// 15% B/op growth trips a 10% mem gate even though ns/op is flat.
+	cur := map[string]Benchmark{"p.B": bench(1000, 115000, 1000)}
+	gating, info := compareDocs(base, cur, 0.20, 0.10, true, io.Discard)
+	if len(gating) != 1 || !strings.Contains(gating[0], "B/op") {
+		t.Fatalf("B/op regression not gated: %v", gating)
+	}
+	if len(info) != 0 {
+		t.Fatalf("unexpected informational findings: %v", info)
+	}
+}
+
+func TestCompareDocsNsInformational(t *testing.T) {
+	base := map[string]Benchmark{"p.B": bench(1000, 100000, 1000)}
+	cur := map[string]Benchmark{"p.B": bench(2000, 100000, 1000)} // 2x slower, same memory
+	gating, info := compareDocs(base, cur, 0.20, 0.10, true, io.Discard)
+	if len(gating) != 0 {
+		t.Fatalf("ns/op regression gated despite -ns-informational: %v", gating)
+	}
+	if len(info) != 1 || !strings.Contains(info[0], "ns/op") {
+		t.Fatalf("ns/op regression not reported informationally: %v", info)
+	}
+	// Without the flag the same regression gates.
+	gating, info = compareDocs(base, cur, 0.20, 0.10, false, io.Discard)
+	if len(gating) != 1 || len(info) != 0 {
+		t.Fatalf("ns/op regression should gate without the flag: gating %v, info %v", gating, info)
+	}
+}
+
+func TestMemRegressedNoiseFloor(t *testing.T) {
+	if memRegressed(50, 90, 100, 0.10) {
+		t.Fatal("both sides under the floor must not gate")
+	}
+	if !memRegressed(50, 200, 100, 0.10) {
+		t.Fatal("ballooning past the floor must gate")
+	}
+	if memRegressed(100000, 105000, 1024, 0.10) {
+		t.Fatal("5% growth under a 10% gate must pass")
+	}
+	if !memRegressed(100000, 120000, 1024, 0.10) {
+		t.Fatal("20% growth past a 10% gate must fail")
 	}
 }

@@ -133,12 +133,10 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 // congest first) is rolled back by replaying only the frames it dirtied and
 // skipped while the rest of the pass continues. The snapshot is released the
 // moment its slide completes, so exactly one checkpoint is alive at any
-// point of the pass and its configuration side is proportional to the
-// slide's touched frames — the old path cloned the full configuration
-// shadow per slide, O(designs x device-size) traffic, and kept each clone
-// alive to the end of the pass. (The host book-keeping side of a checkpoint
-// still clones every design's tables; narrowing that to the sliding design
-// is an open ROADMAP item.)
+// point of the pass, its configuration side proportional to the slide's
+// touched frames and its host side to the one design being slid — the
+// checkpoint journals the slid design's tables first-touch and marks the
+// area manager's undo log instead of cloning either.
 //
 // A slide that completed must NOT be rolled back later (no pass-level
 // rollback-and-replay): relocation moves live state, and rewinding the

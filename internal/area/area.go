@@ -34,11 +34,94 @@ var policyNames = [...]string{"first-fit", "best-fit", "bottom-left"}
 func (p Policy) String() string { return policyNames[p] }
 
 // Manager tracks allocations on an R x C CLB grid.
+//
+// Mutations can be bracketed by Mark/Rewind/Release epochs: while any mark
+// is outstanding the manager appends inverse records to an undo log, so a
+// checkpoint costs O(1) and a rollback costs O(mutations since the mark) —
+// the run-time manager's per-operation checkpoints no longer clone the grid.
 type Manager struct {
 	Rows, Cols int
 	occ        []int // 0 = free, else allocation id
 	allocs     map[int]fabric.Rect
 	next       int
+
+	undo  []undoRec
+	marks int // outstanding Mark count; the log records only while > 0
+}
+
+// undoRec is one inverse mutation on the undo log.
+type undoRec struct {
+	kind undoKind
+	id   int
+	rect fabric.Rect // alloc/free: the allocation's rect; move: the FROM rect
+}
+
+type undoKind uint8
+
+const (
+	undoAlloc undoKind = iota // commit() happened: remove the allocation
+	undoFree                  // Free() happened: reinstate the allocation
+	undoMove                  // Move() happened: move back to rect
+)
+
+// Mark opens an undo epoch at the current log position. Every Mark must be
+// paired with exactly one Release; Rewind may be called any number of times
+// in between (the mark stays armed, backing retry loops).
+func (m *Manager) Mark() Mark {
+	m.marks++
+	return Mark{pos: len(m.undo)}
+}
+
+// Mark is a position on the manager's undo log.
+type Mark struct{ pos int }
+
+// Rewind undoes every mutation since the mark, in reverse order, and
+// truncates the log back to it. The mark stays armed.
+func (m *Manager) Rewind(mk Mark) {
+	for len(m.undo) > mk.pos {
+		rec := m.undo[len(m.undo)-1]
+		m.undo = m.undo[:len(m.undo)-1]
+		switch rec.kind {
+		case undoAlloc:
+			m.fill(rec.rect, 0)
+			delete(m.allocs, rec.id)
+			m.next = rec.id // ids stay deterministic across retries
+		case undoFree:
+			m.allocs[rec.id] = rec.rect
+			m.fill(rec.rect, rec.id)
+		case undoMove:
+			m.fill(m.allocs[rec.id], 0)
+			m.fill(rec.rect, rec.id)
+			m.allocs[rec.id] = rec.rect
+		}
+	}
+}
+
+// Release closes one epoch; when the last outstanding mark is released the
+// undo log is dropped and recording stops.
+func (m *Manager) Release(Mark) {
+	if m.marks > 0 {
+		m.marks--
+	}
+	if m.marks == 0 {
+		m.undo = m.undo[:0]
+	}
+}
+
+// record appends an inverse record while any epoch is open.
+func (m *Manager) record(kind undoKind, id int, rect fabric.Rect) {
+	if m.marks > 0 {
+		m.undo = append(m.undo, undoRec{kind: kind, id: id, rect: rect})
+	}
+}
+
+// fill paints a rectangle of the occupancy grid with an allocation id.
+func (m *Manager) fill(rect fabric.Rect, id int) {
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			m.occ[m.idx(r, c)] = id
+		}
+	}
 }
 
 // NewManager creates an empty grid.
@@ -111,7 +194,9 @@ func (m *Manager) Fits(rect fabric.Rect) bool { return m.fits(rect) }
 
 // CanMove reports whether an allocation could move to a new rectangle right
 // now (the target may overlap the allocation's own cells, as in a staged
-// relocation through adjacent space). The manager is not modified.
+// relocation through adjacent space). The manager is not modified — and
+// nothing is cloned: the target only needs every covered CLB to be free or
+// owned by the moving allocation itself.
 func (m *Manager) CanMove(id int, to fabric.Rect) bool {
 	rect, ok := m.allocs[id]
 	if !ok {
@@ -120,8 +205,17 @@ func (m *Manager) CanMove(id int, to fabric.Rect) bool {
 	if to.H != rect.H || to.W != rect.W {
 		return false
 	}
-	clone := m.Clone()
-	return clone.Move(id, to) == nil
+	if to.Row < 0 || to.Col < 0 || to.Row+to.H > m.Rows || to.Col+to.W > m.Cols {
+		return false
+	}
+	for r := to.Row; r < to.Row+to.H; r++ {
+		for c := to.Col; c < to.Col+to.W; c++ {
+			if owner := m.occ[m.idx(r, c)]; owner != 0 && owner != id {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // FindPlacement searches for a feasible H x W rectangle under the policy
@@ -200,11 +294,8 @@ func (m *Manager) commit(rect fabric.Rect) int {
 	id := m.next
 	m.next++
 	m.allocs[id] = rect
-	for r := rect.Row; r < rect.Row+rect.H; r++ {
-		for c := rect.Col; c < rect.Col+rect.W; c++ {
-			m.occ[m.idx(r, c)] = id
-		}
-	}
+	m.fill(rect, id)
+	m.record(undoAlloc, id, rect)
 	return id
 }
 
@@ -214,12 +305,9 @@ func (m *Manager) Free(id int) error {
 	if !ok {
 		return fmt.Errorf("area: unknown allocation %d", id)
 	}
-	for r := rect.Row; r < rect.Row+rect.H; r++ {
-		for c := rect.Col; c < rect.Col+rect.W; c++ {
-			m.occ[m.idx(r, c)] = 0
-		}
-	}
+	m.fill(rect, 0)
 	delete(m.allocs, id)
+	m.record(undoFree, id, rect)
 	return nil
 }
 
@@ -230,28 +318,16 @@ func (m *Manager) Move(id int, to fabric.Rect) error {
 	if !ok {
 		return fmt.Errorf("area: unknown allocation %d", id)
 	}
-	// Clear, check, commit (the regions may not overlap for safety: staged
-	// relocation goes through free space).
-	for r := rect.Row; r < rect.Row+rect.H; r++ {
-		for c := rect.Col; c < rect.Col+rect.W; c++ {
-			m.occ[m.idx(r, c)] = 0
-		}
-	}
+	// Clear, check, commit (the regions may overlap: staged relocation goes
+	// through adjacent space).
+	m.fill(rect, 0)
 	if !m.fits(to) {
-		// roll back
-		for r := rect.Row; r < rect.Row+rect.H; r++ {
-			for c := rect.Col; c < rect.Col+rect.W; c++ {
-				m.occ[m.idx(r, c)] = id
-			}
-		}
+		m.fill(rect, id) // roll back
 		return fmt.Errorf("area: move target %v not free", to)
 	}
-	for r := to.Row; r < to.Row+to.H; r++ {
-		for c := to.Col; c < to.Col+to.W; c++ {
-			m.occ[m.idx(r, c)] = id
-		}
-	}
+	m.fill(to, id)
 	m.allocs[id] = to
+	m.record(undoMove, id, rect)
 	return nil
 }
 
@@ -339,6 +415,11 @@ func (m *Manager) String() string {
 func (m *Manager) CopyFrom(src *Manager) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("area: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	if m.marks > 0 {
+		// A wholesale overwrite cannot be expressed on the undo log; epochs
+		// must be rewound or released first.
+		panic("area: CopyFrom into a manager with outstanding marks")
 	}
 	copy(m.occ, src.occ)
 	m.allocs = make(map[int]fabric.Rect, len(src.allocs))

@@ -117,6 +117,11 @@ var sinkSources [sinkCount][]SourceRef
 // reserves exactly this many bits per sink.
 const maxPIPsPerSink = 16
 
+// HexSpan is the tile span of a hex wire — the farthest any PIP template
+// reaches across the array. Derived occupancy structures use it to bound
+// how far a configuration change can affect node usage.
+const HexSpan = 6
+
 func init() {
 	buildSinkTemplates()
 }
@@ -150,8 +155,8 @@ func buildSinkTemplates() {
 			)
 			// Hex arriving straight-through six tiles back.
 			src = append(src, SourceRef{
-				DRow:  -6 * d.DeltaRow(),
-				DCol:  -6 * d.DeltaCol(),
+				DRow:  -HexSpan * d.DeltaRow(),
+				DCol:  -HexSpan * d.DeltaCol(),
 				Local: LocalHex(d, i%HexesPerDir),
 			})
 			sinkSources[sink] = src
@@ -169,7 +174,7 @@ func buildSinkTemplates() {
 				from(back, LocalSingle(d, j+HexesPerDir)),
 				from(d.Left().Opposite(), LocalSingle(d.Left(), j)),
 				from(d.Right().Opposite(), LocalSingle(d.Right(), j)),
-				{DRow: -6 * d.DeltaRow(), DCol: -6 * d.DeltaCol(), Local: LocalHex(d, j)},
+				{DRow: -HexSpan * d.DeltaRow(), DCol: -HexSpan * d.DeltaCol(), Local: LocalHex(d, j)},
 			}
 			sinkSources[sink] = src
 		}
@@ -199,8 +204,8 @@ func buildSinkTemplates() {
 					idx = (p + 1) % HexesPerDir
 				}
 				src = append(src, SourceRef{
-					DRow:  -6 * d.DeltaRow(),
-					DCol:  -6 * d.DeltaCol(),
+					DRow:  -HexSpan * d.DeltaRow(),
+					DCol:  -HexSpan * d.DeltaCol(),
 					Local: LocalHex(d, idx),
 				})
 				if len(src) == maxPIPsPerSink {
@@ -223,7 +228,7 @@ func buildSinkTemplates() {
 		}
 		for d := Dir(0); d < 4; d++ {
 			src = append(src, SourceRef{
-				DRow: -6 * d.DeltaRow(), DCol: -6 * d.DeltaCol(),
+				DRow: -HexSpan * d.DeltaRow(), DCol: -HexSpan * d.DeltaCol(),
 				Local: LocalHex(d, cell%HexesPerDir),
 			})
 		}
@@ -241,7 +246,7 @@ func buildSinkTemplates() {
 		}
 		for d := Dir(0); d < 4; d++ {
 			src = append(src, SourceRef{
-				DRow: -6 * d.DeltaRow(), DCol: -6 * d.DeltaCol(),
+				DRow: -HexSpan * d.DeltaRow(), DCol: -HexSpan * d.DeltaCol(),
 				Local: LocalHex(d, (cell+2)%HexesPerDir),
 			})
 		}

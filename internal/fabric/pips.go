@@ -174,6 +174,51 @@ func (d *Device) FanoutOf(n NodeID) []PIPEdge {
 	return out
 }
 
+// HasEnabledFanout reports whether any PIP whose source is the given node is
+// currently enabled — i.e. some sink's mask selects it. It is the
+// allocation-free counterpart of scanning FanoutOf for enabled edges;
+// incremental occupancy maintenance calls it per touched node, so it must not
+// allocate.
+func (d *Device) HasEnabledFanout(n NodeID) bool {
+	if n >= d.PadBase() {
+		pad, ok := d.PadOfNode(n)
+		if !ok {
+			return false
+		}
+		// A pad can be selected by any sink of its border tile whose source
+		// template resolves across the array edge — inward singles are the
+		// routed case, but border-tile pins reach pads directly too. Every
+		// enabled bit must be resolved (not PIPBitFor's first match): at the
+		// border, distinct template slots of one sink can collapse onto the
+		// same pad node.
+		tile, _ := d.padBorderTile(pad)
+		for s := 0; s < sinkCount; s++ {
+			mask := d.PIPMask(tile, s)
+			if mask == 0 {
+				continue
+			}
+			refs := sinkSources[s]
+			for b := range refs {
+				if mask>>b&1 == 1 && d.resolveSource(tile, refs[b]) == n {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	c, local, _ := d.SplitNode(n)
+	for _, fr := range fanoutTemplate[local] {
+		st := Coord{Row: c.Row + fr.DRow, Col: c.Col + fr.DCol}
+		if !d.InBounds(st) {
+			continue
+		}
+		if d.PIPMask(st, fr.SinkLocal)>>fr.Bit&1 == 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // padFanout lists the border-tile sinks a pad input can drive.
 func (d *Device) padFanout(pad PadRef) []PIPEdge {
 	tile, inward := d.padBorderTile(pad)

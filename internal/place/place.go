@@ -167,6 +167,21 @@ func Place(dev *fabric.Device, nl *netlist.Netlist, opts Options) (*Design, erro
 		SourceOf: map[netlist.ID]fabric.NodeID{},
 	}
 
+	// Pad reservations must be atomic: on any failure the pads this design
+	// took are handed back, so a shared ReservePads map never leaks
+	// reservations for a design that was not registered. (The device-side
+	// writes of a failed placement are the caller's rollback problem — the
+	// run-time manager covers them with a configuration checkpoint.)
+	reserved := opts.ReservePads
+	fail := func(err error) (*Design, error) {
+		if reserved != nil {
+			for _, p := range d.PadOf {
+				delete(reserved, p)
+			}
+		}
+		return nil, err
+	}
+
 	// Assign packed cells to CLB cells row-major inside the region,
 	// spreading across CLBs first (better routability than filling each
 	// CLB to 4/4 before moving on).
@@ -189,18 +204,18 @@ func Place(dev *fabric.Device, nl *netlist.Netlist, opts Options) (*Design, erro
 
 	// Bind pads.
 	if err := d.bindPads(opts); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Write cell configurations and compute value sources.
 	if err := d.configureCells(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 
 	// Build and route nets.
 	nets, err := d.buildNets()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	router := opts.Router
 	if router == nil {
@@ -208,10 +223,10 @@ func Place(dev *fabric.Device, nl *netlist.Netlist, opts Options) (*Design, erro
 	}
 	routed, err := router.RouteAll(nets)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if err := route.Apply(dev, routed); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	d.Nets = routed
 	return d, nil

@@ -121,14 +121,18 @@ func NewEngine(dev *fabric.Device, port bitstream.Port) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		Dev:              dev,
 		Tool:             tool,
 		AppClockHz:       1e6,
 		MaxCyclesPerWait: 8,
 		view:             newView(dev),
 		router:           route.NewRouter(dev),
-	}, nil
+	}
+	// The tool reports every logical write back to the view, which applies
+	// occupancy deltas instead of rescanning the device per operation.
+	tool.SetViewSink(e.view)
+	return e, nil
 }
 
 // tick advances the application clock to cover the port time consumed since
@@ -214,7 +218,6 @@ func (e *Engine) RelocateCell(from, to fabric.CellRef) (*CellMove, error) {
 	if err := e.execute(plan); err != nil {
 		return nil, err
 	}
-	e.view.rescan()
 	e.Stats.CellsRelocated++
 	if plan.needsAux {
 		e.Stats.AuxCircuits++

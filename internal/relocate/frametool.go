@@ -50,7 +50,36 @@ type FrameTool struct {
 
 	touched  []fabric.FrameAddr
 	touchSet map[fabric.FrameAddr]bool
+
+	sink ViewSink
 }
+
+// ViewSink receives logical-level change notifications from the tool's write
+// path — the touched-reporting that lets a derived occupancy structure (the
+// engine's view) stay current with markUsed/markFree-style deltas instead of
+// re-deriving the whole device per write. The contract:
+//
+//   - CellTouched / NodesTouched / PadTouched fire after each logical write
+//     through the tool, naming exactly the resources whose configuration the
+//     write can have changed (for a PIP toggle: the source and sink node;
+//     for a sink clear: the sink plus its previously enabled sources).
+//   - Synced fires whenever the tool reconciles configuration that changed
+//     through another path (designer-level placement, a rollback's recovery
+//     stream), carrying the dirty frame set from Device.FramesChangedSince
+//     or the checkpoint being rolled back.
+//   - Advanced fires when the device generation moved with no configuration
+//     change the sink has not already seen (a flush re-delivering staged
+//     frames through the port).
+type ViewSink interface {
+	CellTouched(ref fabric.CellRef)
+	NodesTouched(nodes ...fabric.NodeID)
+	PadTouched(pad fabric.PadRef)
+	Synced(addrs []fabric.FrameAddr)
+	Advanced()
+}
+
+// SetViewSink attaches the touched-reporting sink (nil detaches).
+func (ft *FrameTool) SetViewSink(s ViewSink) { ft.sink = s }
 
 // NewFrameTool builds a tool over a device and port. The shadow is
 // initialised from the device's current configuration.
@@ -82,7 +111,8 @@ func (ft *FrameTool) sync() error {
 	if g == ft.genSeen {
 		return nil
 	}
-	for _, addr := range ft.dev.FramesChangedSince(ft.genSeen) {
+	addrs := ft.dev.FramesChangedSince(ft.genSeen)
+	for _, addr := range addrs {
 		data, err := ft.dev.ReadFrame(addr.Major, addr.Minor)
 		if err != nil {
 			return err
@@ -90,6 +120,9 @@ func (ft *FrameTool) sync() error {
 		ft.shadow.NoteOwned(addr, data)
 	}
 	ft.genSeen = g
+	if ft.sink != nil && len(addrs) > 0 {
+		ft.sink.Synced(addrs)
+	}
 	return nil
 }
 
@@ -242,8 +275,11 @@ func (ft *FrameTool) Flush() error {
 	}
 	// The controller re-wrote the same data the reconciled shadow holds;
 	// fold exactly those generation bumps in so the next sync stays a
-	// no-op.
+	// no-op, and tell the view nothing it has not already applied changed.
 	ft.genSeen = ft.dev.Generation()
+	if ft.sink != nil {
+		ft.sink.Advanced()
+	}
 	return nil
 }
 
@@ -329,12 +365,18 @@ func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
 // CompleteRestore finishes a rollback after the recovery stream was fed to
 // the configuration logic: the pending (dead) stream of the failed operation
 // is dropped, the shadow rolls back to the checkpoint state, and the
-// generation cursor catches up with the recovery writes. The snapshot stays
-// armed, so the same checkpoint can back another attempt.
+// generation cursor catches up with the recovery writes. The snapshot's
+// dirty-frame set is handed to the view sink, which restores its occupancy
+// picture from exactly those frames instead of rescanning the device. The
+// snapshot stays armed, so the same checkpoint can back another attempt.
 func (ft *FrameTool) CompleteRestore(snap *bitstream.Snapshot) {
+	dirty := snap.Frames()
 	ft.AbortPending()
 	snap.Rollback()
 	ft.genSeen = ft.dev.Generation()
+	if ft.sink != nil && len(dirty) > 0 {
+		ft.sink.Synced(dirty)
+	}
 }
 
 // cellEdits builds the edits that set a cell's configuration word.
@@ -361,8 +403,17 @@ func (ft *FrameTool) pipEdit(c fabric.Coord, sinkLocal, bit int, on bool) Edit {
 }
 
 // WriteCell applies a cell configuration through the port.
+//
+// The sink is notified even when Apply fails: a multi-frame write can stage
+// some frames before a per-frame verification rejects a later one, and the
+// sink's re-derivation reads the device truth, so notifying on error keeps
+// the view honest for callers that continue without a rollback.
 func (ft *FrameTool) WriteCell(ref fabric.CellRef, cc fabric.CellConfig) error {
-	return ft.Apply(ft.cellEdits(ref, cc))
+	err := ft.Apply(ft.cellEdits(ref, cc))
+	if ft.sink != nil {
+		ft.sink.CellTouched(ref)
+	}
+	return err
 }
 
 // SetPIP toggles the PIP from src to the sink node through the port.
@@ -378,7 +429,11 @@ func (ft *FrameTool) SetPIP(src, sink fabric.NodeID, on bool) error {
 	if !ok {
 		return fmt.Errorf("relocate: no PIP from %d to %d", src, sink)
 	}
-	return ft.Apply([]Edit{ft.pipEdit(c, local, bit, on)})
+	err := ft.Apply([]Edit{ft.pipEdit(c, local, bit, on)})
+	if ft.sink != nil {
+		ft.sink.NodesTouched(src, sink) // on error too — see WriteCell
+	}
+	return err
 }
 
 // SetPath enables (or disables) every PIP along a node path in path order.
@@ -397,6 +452,9 @@ func (ft *FrameTool) ClearSinkPIPs(sink fabric.NodeID) error {
 	if !ok || !fabric.IsLocalSink(local) {
 		return fmt.Errorf("relocate: node %d is not a configurable sink", sink)
 	}
+	// The previously enabled sources lose a consumer; report them alongside
+	// the sink so the view can re-derive their occupancy.
+	srcs := ft.dev.EnabledSourceNodes(c, local)
 	mask := ft.dev.PIPMask(c, local)
 	var edits []Edit
 	for b := 0; mask != 0; b++ {
@@ -405,7 +463,11 @@ func (ft *FrameTool) ClearSinkPIPs(sink fabric.NodeID) error {
 			mask &^= 1 << b
 		}
 	}
-	return ft.Apply(edits)
+	err := ft.Apply(edits)
+	if ft.sink != nil && len(edits) > 0 {
+		ft.sink.NodesTouched(append(srcs, sink)...) // on error too — see WriteCell
+	}
+	return err
 }
 
 func (ft *FrameTool) setPadPIP(pad fabric.PadRef, src fabric.NodeID, on bool) error {
@@ -440,7 +502,11 @@ func (ft *FrameTool) writePad(pad fabric.PadRef, pc fabric.PadConfig) error {
 	for i := 0; i < 8; i++ {
 		edits = append(edits, Edit{Addr: addr, Bit: bitBase + i, On: word>>i&1 == 1})
 	}
-	return ft.Apply(edits)
+	err := ft.Apply(edits)
+	if ft.sink != nil {
+		ft.sink.PadTouched(pad) // on error too — see WriteCell
+	}
+	return err
 }
 
 // WritePadConfig applies a pad configuration through the port.

@@ -102,7 +102,6 @@ func (e *Engine) RerouteSink(sinkTile fabric.Coord, sinkLocal int) (*NetMove, er
 		return nil, err
 	}
 
-	e.view.rescan()
 	e.Stats.NetsRelocated++
 	mv.Frames = e.Tool.FramesWritten() - frames0
 	mv.Seconds = e.Tool.Port().Elapsed() - start
@@ -164,7 +163,6 @@ func (e *Engine) RerouteSinkVia(sinkTile fabric.Coord, sinkLocal int, avoid []fa
 	if err := e.tick(0); err != nil {
 		return nil, err
 	}
-	e.view.rescan()
 	e.Stats.NetsRelocated++
 	mv.Frames = e.Tool.FramesWritten() - frames0
 	mv.Seconds = e.Tool.Port().Elapsed() - start

@@ -2,6 +2,7 @@ package relocate
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/fabric"
@@ -374,10 +375,12 @@ func (e *Engine) RelocateCLB(from, to fabric.Coord) ([]*CellMove, error) {
 
 // ReleaseTree disables every enabled PIP in the forward cone of a source
 // node (terminal sink hops first), returning the routing to the free pool.
-// The tool uses it to decommission a whole function's nets.
+// The tool uses it to decommission a whole function's nets. The view tracks
+// each PIP write incrementally, so releasing a tree costs O(tree), not
+// O(device).
 func (e *Engine) ReleaseTree(src fabric.NodeID) error {
 	e.view.refresh()
-	sinks, tree := e.view.forwardConeExported(src)
+	sinks, tree := e.view.forwardCone(src)
 	for _, s := range sinks {
 		if err := e.Tool.SetPIP(s.lastSrc, s.node, false); err != nil {
 			return err
@@ -399,22 +402,17 @@ func (e *Engine) ReleaseTree(src fabric.NodeID) error {
 			}
 		}
 	}
-	e.view.rescan()
 	return nil
 }
 
 // ClearCell zeroes a cell's configuration through the port.
 func (e *Engine) ClearCell(ref fabric.CellRef) error {
-	err := e.Tool.WriteCell(ref, fabric.CellConfig{})
-	e.view.rescan()
-	return err
+	return e.Tool.WriteCell(ref, fabric.CellConfig{})
 }
 
 // ClearPad disables a pad through the port.
 func (e *Engine) ClearPad(pad fabric.PadRef) error {
-	err := e.Tool.WritePadConfig(pad, fabric.PadConfig{})
-	e.view.rescan()
-	return err
+	return e.Tool.WritePadConfig(pad, fabric.PadConfig{})
 }
 
 // OccupiedNodes returns every routing node currently in use on the device,
@@ -427,6 +425,6 @@ func (e *Engine) OccupiedNodes() []fabric.NodeID {
 	for n := range e.view.used {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

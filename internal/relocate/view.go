@@ -22,6 +22,14 @@ import (
 
 // view is the engine's bitstream-derived picture of the device: which
 // routing nodes are in use, which cells are occupied, and how signals flow.
+//
+// The picture is maintained incrementally: the tool's write path reports
+// exactly which cells, nodes and pads each configuration write can have
+// changed (view implements ViewSink), and the view re-derives just those
+// entries from the configuration memory. A full rescan remains only as the
+// fallback for configuration that changed outside the tool — designer-path
+// writes detected through Device.FramesChangedSince — and even that path
+// first tries a partial re-derivation bounded by the dirty frames' columns.
 type view struct {
 	dev *fabric.Device
 	gen uint64
@@ -90,27 +98,277 @@ func (v *view) rescan() {
 	}
 }
 
-// refresh rescans if the configuration moved.
+// refresh brings the view up to date if the configuration moved through a
+// path the tool did not report (designer-level writes, recovery streams fed
+// straight to the controller). The changed frames are narrowed through
+// Device.FramesChangedSince; refreshFrames falls back to a full rescan when
+// they cover most of the device.
 func (v *view) refresh() {
 	if v.dev.Generation() != v.gen {
-		v.rescan()
+		v.refreshFrames(v.dev.FramesChangedSince(v.gen))
 	}
 }
 
-// markUsed records nodes the engine just allocated (cheaper than a rescan).
-func (v *view) markUsed(nodes ...fabric.NodeID) {
-	for _, n := range nodes {
+// nodeInUse re-derives one node's occupancy from the configuration memory.
+// It must agree exactly with the criteria rescan applies: a cell output is
+// used while its cell is configured, a sink while any of its PIPs is
+// enabled, a source while any enabled PIP or output-pad mask selects it, and
+// a pad node while the pad is configured as input or output.
+func (v *view) nodeInUse(n fabric.NodeID) bool {
+	dev := v.dev
+	if pad, ok := dev.PadOfNode(n); ok {
+		pc := dev.ReadPad(pad)
+		return pc.Input || pc.Output || dev.HasEnabledFanout(n)
+	}
+	c, local, _ := dev.SplitNode(n)
+	kind, _, idx := fabric.DecodeLocal(local)
+	if kind == fabric.KindOutX || kind == fabric.KindOutXQ {
+		if dev.ReadCell(fabric.CellRef{Coord: c, Cell: idx}).InUse() {
+			return true
+		}
+	}
+	if fabric.IsLocalSink(local) && dev.PIPMask(c, local) != 0 {
+		return true
+	}
+	if dev.HasEnabledFanout(n) {
+		return true
+	}
+	return v.fedByPad(n)
+}
+
+// padCandidate returns the one pad whose OutMask could select the wire: the
+// wire must be a single leaving the array from a border tile, and the pad
+// sits at the position it exits towards. This is the single encoding of the
+// wire-to-pad border rule — fedByPad and padsFedBy both build on it.
+func (v *view) padCandidate(n fabric.NodeID) (fabric.PadRef, bool) {
+	dev := v.dev
+	c, local, ok := dev.SplitNode(n)
+	if !ok {
+		return fabric.PadRef{}, false
+	}
+	kind, dir, idx := fabric.DecodeLocal(local)
+	if kind != fabric.KindSingle {
+		return fabric.PadRef{}, false
+	}
+	out := c.Step(dir, 1)
+	if dev.InBounds(out) {
+		return fabric.PadRef{}, false
+	}
+	side, pos := edgeOf(dev, out)
+	if pos < 0 {
+		return fabric.PadRef{}, false
+	}
+	return fabric.PadRef{Side: side, Pos: pos, K: idx % fabric.PadsPerEdgeTile}, true
+}
+
+// fedByPad reports whether an output pad's enabled OutMask selects the wire
+// — the allocation-free counterpart of padsFedBy, for the per-node
+// re-derivation path.
+func (v *view) fedByPad(n fabric.NodeID) bool {
+	p, ok := v.padCandidate(n)
+	if !ok {
+		return false
+	}
+	pc := v.dev.ReadPad(p)
+	if !pc.Output || pc.OutMask == 0 {
+		return false
+	}
+	for b := 0; b < fabric.PadOutSources; b++ {
+		if pc.OutMask>>b&1 == 1 && v.dev.PadOutSourceNode(p, b) == n {
+			return true
+		}
+	}
+	return false
+}
+
+// markNode re-derives one node and updates the used set (markUsed/markFree
+// folded into one recompute, so callers only say WHAT may have changed).
+func (v *view) markNode(n fabric.NodeID) {
+	if v.nodeInUse(n) {
 		v.used[n] = true
-	}
-	v.gen = v.dev.Generation()
-}
-
-// markFree releases nodes the engine just freed.
-func (v *view) markFree(nodes ...fabric.NodeID) {
-	for _, n := range nodes {
+	} else {
 		delete(v.used, n)
 	}
+}
+
+// markCell re-derives one cell's occupancy and its output nodes.
+func (v *view) markCell(ref fabric.CellRef) {
+	if v.dev.ReadCell(ref).InUse() {
+		v.inUse[ref] = true
+	} else {
+		delete(v.inUse, ref)
+	}
+	v.markNode(v.dev.NodeIDAt(ref.Coord, fabric.LocalOutX(ref.Cell)))
+	v.markNode(v.dev.NodeIDAt(ref.Coord, fabric.LocalOutXQ(ref.Cell)))
+}
+
+// markTileFree re-derives whether a CLB is wholly free (no configured cell,
+// no enabled sink PIP).
+func (v *view) markTileFree(c fabric.Coord) {
+	dev := v.dev
+	free := true
+	for cell := 0; cell < fabric.CellsPerCLB && free; cell++ {
+		if dev.ReadCell(fabric.CellRef{Coord: c, Cell: cell}).InUse() {
+			free = false
+		}
+	}
+	for local := 0; local < fabric.NodeSlots && free; local++ {
+		if fabric.IsLocalSink(local) && dev.PIPMask(c, local) != 0 {
+			free = false
+		}
+	}
+	if free {
+		v.freeCLB[c] = true
+	} else {
+		delete(v.freeCLB, c)
+	}
+}
+
+// CellTouched applies the delta for one cell configuration write (ViewSink).
+func (v *view) CellTouched(ref fabric.CellRef) {
+	v.markCell(ref)
+	v.markTileFree(ref.Coord)
 	v.gen = v.dev.Generation()
+}
+
+// NodesTouched applies the delta for a set of nodes whose connectivity a
+// write can have changed: each is re-derived from the configuration, and the
+// tiles they live in re-derive their free/occupied status (ViewSink).
+func (v *view) NodesTouched(nodes ...fabric.NodeID) {
+	for _, n := range nodes {
+		v.markNode(n)
+		if c, _, ok := v.dev.SplitNode(n); ok {
+			v.markTileFree(c)
+		}
+	}
+	v.gen = v.dev.Generation()
+}
+
+// PadTouched applies the delta for one pad configuration write: the pad node
+// itself and every wire its OutMask can select (ViewSink).
+func (v *view) PadTouched(pad fabric.PadRef) {
+	v.markNode(v.dev.PadNodeID(pad))
+	for _, n := range v.dev.PadOutSourceNodes(pad) {
+		v.markNode(n)
+	}
+	v.gen = v.dev.Generation()
+}
+
+// Synced consumes configuration that changed outside the tool's write path
+// (designer-level placement, a rollback's recovery stream): the view
+// re-derives the columns the dirty frames can influence (ViewSink).
+func (v *view) Synced(addrs []fabric.FrameAddr) {
+	v.refreshFrames(addrs)
+}
+
+// Advanced notes that the device generation moved with no configuration
+// change the view has not already applied — the port re-delivering staged
+// frames on a flush (ViewSink).
+func (v *view) Advanced() {
+	v.gen = v.dev.Generation()
+}
+
+// hexReach is how far (in tiles) a PIP can connect across the array: the
+// straight-through hex wires of the sink templates span fabric.HexSpan
+// tiles, so a configuration bit in one column can change the usage of nodes
+// up to that many columns away.
+const hexReach = fabric.HexSpan
+
+// refreshFrames re-derives the occupancy entries a set of dirty frames can
+// have changed: the tiles of the frames' own columns (cell configs and sink
+// masks are tile-local), the used status of every node within wire reach of
+// those columns, and the pads whose configuration or selectable wires the
+// frames cover. Falls back to a full rescan when the dirty set covers most
+// of the device — the designer-path fallback of the O(change) contract.
+func (v *view) refreshFrames(addrs []fabric.FrameAddr) {
+	dev := v.dev
+	if len(addrs) == 0 {
+		v.gen = dev.Generation()
+		return
+	}
+	if 2*len(addrs) >= dev.TotalFrames() {
+		v.rescan()
+		return
+	}
+	dirtyCols := map[int]bool{} // array columns whose tile config changed
+	nodeCols := map[int]bool{}  // array columns whose nodes need re-deriving
+	pads := map[fabric.PadRef]bool{}
+	markPadCols := func(col int) {
+		// Sinks of this column can select North/South pads of the column;
+		// border columns can also select the West/East pad rings.
+		for k := 0; k < fabric.PadsPerEdgeTile; k++ {
+			pads[fabric.PadRef{Side: fabric.North, Pos: col, K: k}] = true
+			pads[fabric.PadRef{Side: fabric.South, Pos: col, K: k}] = true
+		}
+		if col == 0 || col == dev.Cols-1 {
+			side := fabric.West
+			if col == dev.Cols-1 {
+				side = fabric.East
+			}
+			for pos := 0; pos < dev.Rows; pos++ {
+				for k := 0; k < fabric.PadsPerEdgeTile; k++ {
+					pads[fabric.PadRef{Side: side, Pos: pos, K: k}] = true
+				}
+			}
+		}
+	}
+	addNodeCol := func(col int) {
+		if col >= 0 && col < dev.Cols {
+			nodeCols[col] = true
+		}
+	}
+	for _, addr := range addrs {
+		col, ok := dev.ColumnByMajor(addr.Major)
+		if ok && col.Kind == fabric.ColCLB {
+			a := col.ArrayCol
+			dirtyCols[a] = true
+			for _, d := range []int{0, -1, 1, -hexReach, hexReach} {
+				addNodeCol(a + d)
+			}
+			markPadCols(a)
+		}
+		for _, p := range dev.PadsInFrame(addr) {
+			pads[p] = true
+			// The pad's selectable wires live in its border tile's column.
+			tile, _, _ := dev.SplitNode(dev.PadOutSourceNodes(p)[0])
+			addNodeCol(tile.Col)
+		}
+	}
+	for col := range nodeCols {
+		for row := 0; row < dev.Rows; row++ {
+			c := fabric.Coord{Row: row, Col: col}
+			for local := 0; local < fabric.NodeSlots; local++ {
+				if !validLocal(local) {
+					continue
+				}
+				v.markNode(dev.NodeIDAt(c, local))
+			}
+		}
+	}
+	for col := range dirtyCols {
+		for row := 0; row < dev.Rows; row++ {
+			c := fabric.Coord{Row: row, Col: col}
+			for cell := 0; cell < fabric.CellsPerCLB; cell++ {
+				ref := fabric.CellRef{Coord: c, Cell: cell}
+				if dev.ReadCell(ref).InUse() {
+					v.inUse[ref] = true
+				} else {
+					delete(v.inUse, ref)
+				}
+			}
+			v.markTileFree(c)
+		}
+	}
+	for p := range pads {
+		v.markNode(dev.PadNodeID(p))
+	}
+	v.gen = dev.Generation()
+}
+
+// validLocal reports whether a local slot below NodeSlots is an actual node
+// (the per-tile id space is padded to a fixed stride).
+func validLocal(local int) bool {
+	return local < fabric.LocalOutXQ(fabric.CellsPerCLB-1)+1
 }
 
 // terminalDriver walks backwards from a sink through enabled PIPs to the
@@ -187,10 +445,8 @@ func (v *view) forwardCone(src fabric.NodeID) (sinks []terminalSink, tree []fabr
 		}
 		// Output pads fed by this node.
 		if _, local, ok := dev.SplitNode(n); ok {
-			kind, dir, idx := fabric.DecodeLocal(local)
+			kind, _, _ := fabric.DecodeLocal(local)
 			if kind == fabric.KindSingle {
-				_ = dir
-				_ = idx
 				for _, p := range v.padsFedBy(n) {
 					sinks = append(sinks, terminalSink{node: dev.PadNodeID(p), lastSrc: n})
 				}
@@ -201,39 +457,14 @@ func (v *view) forwardCone(src fabric.NodeID) (sinks []terminalSink, tree []fabr
 	return sinks, tree
 }
 
-// padsFedBy finds output pads whose enabled OutMask selects the given wire.
+// padsFedBy finds output pads whose enabled OutMask selects the given wire
+// (at most one: the candidate pad at the wire's exit position).
 func (v *view) padsFedBy(n fabric.NodeID) []fabric.PadRef {
-	dev := v.dev
-	c, local, ok := dev.SplitNode(n)
-	if !ok {
+	if !v.fedByPad(n) {
 		return nil
 	}
-	kind, dir, idx := fabric.DecodeLocal(local)
-	if kind != fabric.KindSingle {
-		return nil
-	}
-	// The wire leaves the array only from a border tile heading out.
-	out := c.Step(dir, 1)
-	if dev.InBounds(out) {
-		return nil
-	}
-	var pads []fabric.PadRef
-	for k := 0; k < fabric.PadsPerEdgeTile; k++ {
-		if k != idx%fabric.PadsPerEdgeTile {
-			continue
-		}
-		side, pos := edgeOf(dev, out)
-		if pos < 0 {
-			continue
-		}
-		p := fabric.PadRef{Side: side, Pos: pos, K: k}
-		for _, srcNode := range dev.PadEnabledSources(p) {
-			if srcNode == n {
-				pads = append(pads, p)
-			}
-		}
-	}
-	return pads
+	p, _ := v.padCandidate(n)
+	return []fabric.PadRef{p}
 }
 
 func edgeOf(dev *fabric.Device, out fabric.Coord) (fabric.Dir, int) {
@@ -273,7 +504,7 @@ func (v *view) exclusiveSuffix(chain []fabric.NodeID) []fabric.NodeID {
 			shared = true
 			break
 		}
-		if len(v.padsFedBy(n)) > 0 {
+		if v.fedByPad(n) {
 			shared = true
 		}
 		if shared {
@@ -309,9 +540,4 @@ func (v *view) findFreeCLB(near fabric.Coord, exclude ...fabric.Coord) (fabric.C
 		return fabric.Coord{}, fmt.Errorf("relocate: no free CLB available near %v", near)
 	}
 	return best, nil
-}
-
-// forwardConeExported adapts forwardCone for engine-level callers.
-func (v *view) forwardConeExported(src fabric.NodeID) ([]terminalSink, []fabric.NodeID) {
-	return v.forwardCone(src)
 }

@@ -52,6 +52,12 @@ type System struct {
 	designs map[string]*place.Design
 	regions map[string]int // design name -> area allocation id
 
+	// cps is the stack of armed checkpoints; mutating operations journal
+	// inverse host-book-keeping ops into each of them (first-touch, so a
+	// checkpoint costs what the operation touches, not what is loaded).
+	cps       []*checkpoint
+	restoring bool // suppress journalling while a rollback replays the journal
+
 	subMu   sync.Mutex
 	subs    map[int]chan Event
 	nextSub int
@@ -253,8 +259,18 @@ func (s *System) loadRaw(nl *netlist.Netlist, region fabric.Rect) (*place.Design
 		Router:      s.router,
 	})
 	if err != nil {
-		return nil, err
+		return nil, err // Place released its pad reservations itself
 	}
+	// Journal the inverse before anything else can fail: the pads are
+	// reserved from here on, and the design may be half-registered.
+	name := nl.Name
+	s.noteUndoLocked(func(s *System) {
+		delete(s.designs, name)
+		delete(s.regions, name)
+		for _, p := range d.PadOf {
+			delete(s.pads, p)
+		}
+	})
 	id, err := s.area.AllocateAt(region)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRegionBusy, err)
@@ -306,6 +322,19 @@ func (s *System) Unload(name string) error {
 // engine writes run in one coalescing batch, so the whole decommission
 // streams as a single partial bitstream instead of one per frame.
 func (s *System) unloadRaw(name string) error {
+	// The unload never rewrites the design's tables, so the inverse is just
+	// re-registering the same object (the configuration side is the frame
+	// snapshot's business).
+	{
+		d, id := s.designs[name], s.regions[name]
+		s.noteUndoLocked(func(s *System) {
+			s.designs[name] = d
+			s.regions[name] = id
+			for _, p := range d.PadOf {
+				s.pads[p] = true
+			}
+		})
+	}
 	if err := s.unloadFabricBatched(name); err != nil {
 		return err
 	}
@@ -413,6 +442,9 @@ func (s *System) checkMoveLocked(name string, to fabric.Rect) error {
 // validated the move and owns rollback.
 func (s *System) moveRaw(name string, to fabric.Rect) error {
 	d := s.designs[name]
+	// First-touch clone of the tables the relocation rewrites (Region,
+	// CellOf, SourceOf) into every armed checkpoint.
+	s.noteDesignLocked(d)
 	from := d.Region
 	coords := from.Coords()
 	// Order so that targets are vacated before they are needed.
@@ -504,21 +536,25 @@ func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) erro
 	return nil
 }
 
-// stagedHopsLocked computes the hop sequence and dry-runs it on a clone of
-// the area manager, so an occupied intermediate region is rejected before
-// any frame is streamed.
-func (s *System) stagedHopsLocked(name string, from, to fabric.Rect, maxStep int) ([]fabric.Rect, error) {
+// stagedHopsLocked computes the hop sequence and dry-runs it on the live
+// area manager under an undo-log mark (rewound before returning), so an
+// occupied intermediate region is rejected before any frame is streamed —
+// without cloning the grid.
+func (s *System) stagedHopsLocked(name string, from, to fabric.Rect, maxStep int) (hops []fabric.Rect, err error) {
 	if maxStep < 1 {
 		maxStep = 1
 	}
 	id := s.regions[name]
-	clone := s.area.Clone()
-	var hops []fabric.Rect
+	mk := s.area.Mark()
+	defer func() {
+		s.area.Rewind(mk)
+		s.area.Release(mk)
+	}()
 	for cur := from; cur != to; {
 		dr := clampStep(to.Row-cur.Row, maxStep)
 		dc := clampStep(to.Col-cur.Col, maxStep)
 		next := fabric.Rect{Row: cur.Row + dr, Col: cur.Col + dc, H: cur.H, W: cur.W}
-		if err := clone.Move(id, next); err != nil {
+		if err := s.area.Move(id, next); err != nil {
 			return nil, fmt.Errorf("%w: staged hop %v: %v", ErrRegionBusy, next, err)
 		}
 		hops = append(hops, next)
@@ -556,19 +592,25 @@ func (s *System) Recover() error {
 	return nil
 }
 
-// checkpoint captures everything a rollback needs: a frame-granular
-// copy-on-write snapshot of the pre-operation configuration (pre-images are
-// saved only for the frames the operation actually touches, reported by the
-// engine's write path) plus the host-side book-keeping. Checkpoints must be
-// released when the operation ends, whichever way it ends — an unreleased
-// snapshot would keep saving pre-images for every later operation.
+// checkpoint captures everything a rollback needs, all of it copy-on-write:
+// a frame-granular snapshot of the pre-operation configuration (pre-images
+// are saved only for the frames the operation actually touches, reported by
+// the engine's write path), an undo-log epoch on the area manager, and a
+// journal of inverse host-book-keeping ops that mutations append first-touch
+// — so opening a checkpoint copies nothing, and its eventual size is
+// proportional to the designs the operation touches, not to every resident
+// design. Checkpoints must be released when the operation ends, whichever
+// way it ends — an unreleased snapshot would keep saving pre-images for
+// every later operation.
 type checkpoint struct {
-	snap    *bitstream.Snapshot
-	area    *area.Manager
-	pads    map[fabric.PadRef]bool
-	regions map[string]int
-	designs map[string]*place.Design
-	states  map[string]designState
+	snap *bitstream.Snapshot
+	mark area.Mark
+	// undo holds inverse host ops, applied in reverse on restore. saved
+	// tracks designs whose mutable state is already journalled, so repeated
+	// relocations of one design cost one clone per checkpoint.
+	undo     []func(*System)
+	saved    map[*place.Design]bool
+	released bool
 }
 
 // designState is the per-design mutable state a relocation rewrites.
@@ -586,21 +628,40 @@ func (s *System) checkpointLocked() (*checkpoint, error) {
 		return nil, err
 	}
 	cp := &checkpoint{
-		snap:    snap,
-		area:    s.area.Clone(),
-		pads:    make(map[fabric.PadRef]bool, len(s.pads)),
-		regions: make(map[string]int, len(s.regions)),
-		designs: make(map[string]*place.Design, len(s.designs)),
-		states:  make(map[string]designState, len(s.designs)),
+		snap:  snap,
+		mark:  s.area.Mark(),
+		saved: map[*place.Design]bool{},
 	}
-	for p := range s.pads {
-		cp.pads[p] = true
+	s.cps = append(s.cps, cp)
+	return cp, nil
+}
+
+// noteUndoLocked journals an inverse host-book-keeping op into every armed
+// checkpoint. No-op while a rollback is replaying journals, and no-op when
+// no checkpoint is armed (engine-level callers manage their own recovery).
+func (s *System) noteUndoLocked(fn func(*System)) {
+	if s.restoring {
+		return
 	}
-	for n, id := range s.regions {
-		cp.regions[n] = id
+	for _, cp := range s.cps {
+		cp.undo = append(cp.undo, fn)
 	}
-	for n, d := range s.designs {
-		cp.designs[n] = d
+}
+
+// noteDesignLocked journals a design's mutable state (region, cell and
+// source tables) into each armed checkpoint that has not saved it yet. This
+// is the host-side counterpart of the frame snapshot's copy-on-write: the
+// tables are cloned on first touch, driven by the operations that actually
+// rewrite them.
+func (s *System) noteDesignLocked(d *place.Design) {
+	if s.restoring {
+		return
+	}
+	for _, cp := range s.cps {
+		if cp.saved[d] {
+			continue
+		}
+		cp.saved[d] = true
 		st := designState{
 			region:   d.Region,
 			cellOf:   make(map[netlist.ID]fabric.CellRef, len(d.CellOf)),
@@ -612,19 +673,23 @@ func (s *System) checkpointLocked() (*checkpoint, error) {
 		for id, node := range d.SourceOf {
 			st.sourceOf[id] = node
 		}
-		cp.states[n] = st
+		cp.undo = append(cp.undo, func(*System) {
+			d.Region = st.region
+			d.CellOf = st.cellOf
+			d.SourceOf = st.sourceOf
+		})
 	}
-	return cp, nil
 }
 
 // restoreLocked rolls the device and all book-keeping back to a checkpoint
 // after a failed operation: the pre-images of exactly the frames the
 // operation dirtied are streamed through the controller (the paper's
-// recovery path, now proportional to the change instead of the device) and
-// the host-side state is reset to match. The checkpoint itself stays armed,
-// so one checkpoint can back several rollbacks — Defragment retries
-// alternative plans against the same one. cause is reported on the event
-// stream.
+// recovery path, proportional to the change instead of the device), the
+// area manager rewinds its undo log to the checkpoint's mark, and the host
+// journal replays its inverse ops in reverse. The checkpoint itself stays
+// armed — journal and dirty set emptied, mark kept — so one checkpoint can
+// back several rollbacks; Defragment retries alternative plans against the
+// same one. cause is reported on the event stream.
 func (s *System) restoreLocked(cp *checkpoint, cause error) {
 	// RecoveryWords syncs first, so designer-path writes (a half-placed
 	// design) are part of the dirty set and cannot survive the rollback.
@@ -648,41 +713,36 @@ func (s *System) restoreLocked(cp *checkpoint, cause error) {
 		_ = s.engine.Tool.Sync()
 		cause = fmt.Errorf("%w (partial recovery failed, full recovery streamed: %v)", cause, recErr)
 	}
-	// Restore in place: Area() callers (e.g. a scheduler driving this
-	// system) keep a valid pointer across rollbacks.
-	s.area.CopyFrom(cp.area)
-	s.pads = make(map[fabric.PadRef]bool, len(cp.pads))
-	for p := range cp.pads {
-		s.pads[p] = true
+	// Area and host book-keeping rewind in place: Area() callers (e.g. a
+	// scheduler driving this system) keep a valid pointer across rollbacks.
+	s.area.Rewind(cp.mark)
+	s.restoring = true
+	for i := len(cp.undo) - 1; i >= 0; i-- {
+		cp.undo[i](s)
 	}
-	s.regions = make(map[string]int, len(cp.regions))
-	for n, id := range cp.regions {
-		s.regions[n] = id
-	}
-	s.designs = make(map[string]*place.Design, len(cp.designs))
-	for n, d := range cp.designs {
-		s.designs[n] = d
-	}
-	for n, st := range cp.states {
-		d := cp.designs[n]
-		d.Region = st.region
-		d.CellOf = make(map[netlist.ID]fabric.CellRef, len(st.cellOf))
-		for id, ref := range st.cellOf {
-			d.CellOf[id] = ref
-		}
-		d.SourceOf = make(map[netlist.ID]fabric.NodeID, len(st.sourceOf))
-		for id, node := range st.sourceOf {
-			d.SourceOf[id] = node
-		}
-	}
+	s.restoring = false
+	cp.undo = cp.undo[:0]
+	clear(cp.saved)
 	s.rebuildRouterLocked()
 	s.publish(Event{Kind: Recovered, Err: cause})
 }
 
 // releaseCheckpointLocked retires a checkpoint at the end of its operation
 // (success or final failure): the copy-on-write snapshot detaches and stops
-// accumulating pre-images. Safe to call after a restore — the snapshot
+// accumulating pre-images, the area mark is released, and the checkpoint
+// leaves the armed stack. Safe to call after a restore — the snapshot
 // survives rollbacks so retry loops can reuse it — and safe to call twice.
 func (s *System) releaseCheckpointLocked(cp *checkpoint) {
+	if cp.released {
+		return
+	}
+	cp.released = true
 	cp.snap.Release()
+	s.area.Release(cp.mark)
+	for i, c := range s.cps {
+		if c == cp {
+			s.cps = append(s.cps[:i], s.cps[i+1:]...)
+			break
+		}
+	}
 }
