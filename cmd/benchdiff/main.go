@@ -260,6 +260,23 @@ func compareDocs(baseBy, curBy map[string]Benchmark, maxRegress, maxMemRegress f
 		}
 		fmt.Fprintf(w, "%s %-50s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
 			status, key, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		// Custom metrics (ms_per_clb, overlap_ratio, frames/move, ...) ride
+		// along as informational columns: they carry through the comparison
+		// so a PR's table shows how they moved, but they never gate — their
+		// meaning (and whether bigger is better) is benchmark-specific.
+		for _, name := range metricNames(b.Metrics, c.Metrics) {
+			bv, bok := b.Metrics[name]
+			cv, cok := c.Metrics[name]
+			switch {
+			case bok && cok:
+				fmt.Fprintf(w, "metric   %-50s %12.4g -> %12.4g %s (informational)\n",
+					key, bv, cv, name)
+			case cok:
+				fmt.Fprintf(w, "metric   %-50s %27.4g %s (new, informational)\n", key, cv, name)
+			default:
+				fmt.Fprintf(w, "metric   %-50s %s gone (was %.4g, informational)\n", key, name, bv)
+			}
+		}
 	}
 	for _, key := range sortedKeys(curBy) {
 		if _, ok := baseBy[key]; !ok {
@@ -300,6 +317,29 @@ func index(doc *Doc) map[string]Benchmark {
 		out[b.Pkg+"."+b.Name] = b
 	}
 	return out
+}
+
+// metricNames returns the sorted union of two custom-metric maps.
+func metricNames(a, b map[string]float64) []string {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var names []string
+	for k := range a {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	for k := range b {
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 func sortedKeys(m map[string]Benchmark) []string {

@@ -103,3 +103,44 @@ func TestMemRegressedNoiseFloor(t *testing.T) {
 		t.Fatal("20% growth past a 10% gate must fail")
 	}
 }
+
+func TestCompareDocsCarriesCustomMetrics(t *testing.T) {
+	withMetrics := func(b Benchmark, m map[string]float64) Benchmark {
+		b.Metrics = m
+		return b
+	}
+	base := map[string]Benchmark{
+		"p.B": withMetrics(bench(1000, 1000, 10), map[string]float64{"ms_per_clb": 9.4, "gone_metric": 1}),
+	}
+	// overlap_ratio is new, ms_per_clb moved 10x, gone_metric disappeared —
+	// none of it may gate; all of it must appear in the rendered table.
+	cur := map[string]Benchmark{
+		"p.B": withMetrics(bench(1000, 1000, 10), map[string]float64{"ms_per_clb": 0.9, "overlap_ratio": 0.46}),
+	}
+	var out strings.Builder
+	gating, info := compareDocs(base, cur, 0.20, 0.10, true, &out)
+	if len(gating) != 0 || len(info) != 0 {
+		t.Fatalf("custom metrics must not gate or warn: gating %v, info %v", gating, info)
+	}
+	text := out.String()
+	for _, want := range []string{"ms_per_clb", "overlap_ratio", "gone_metric", "informational"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestParseCustomMetricUnits(t *testing.T) {
+	in := "pkg: repro\nBenchmarkTab226msRelocationTime-8 1 400000000 ns/op 6.86 ms/CLB 9.42 ms_per_clb 0.46 overlap_ratio\n"
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks", len(doc.Benchmarks))
+	}
+	m := doc.Benchmarks[0].Metrics
+	if m["ms_per_clb"] != 9.42 || m["overlap_ratio"] != 0.46 || m["ms/CLB"] != 6.86 {
+		t.Fatalf("metrics mis-parsed: %v", m)
+	}
+}

@@ -112,7 +112,11 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		cells0 := s.engine.Stats.CellsRelocated
 		rep.Moves = rep.Moves[:0]
 		rep.CLBsMoved = 0
-		if err := s.executeDefragPlanLocked(plan, byID, pol.MaxStep, rep); err != nil {
+		err := s.executeDefragPlanLocked(plan, byID, pol.MaxStep, rep)
+		if err == nil {
+			err = s.engine.Tool.AwaitStream() // harvest before accepting the candidate
+		}
+		if err != nil {
 			s.restoreLocked(snap, err)
 			lastErr = err
 			continue
@@ -169,9 +173,16 @@ func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := s.defragStepLocked(name, st.To, pol.MaxStep); err != nil {
+		slideErr := s.defragStepLocked(name, st.To, pol.MaxStep)
+		if slideErr == nil {
+			// Each slide owns its checkpoint, so its stream is harvested
+			// before the checkpoint is released (a later harvest could not
+			// roll the slide back any more).
+			slideErr = s.engine.Tool.AwaitStream()
+		}
+		if slideErr != nil {
 			rep.Attempts++
-			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, err))
+			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, slideErr))
 		} else {
 			rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
 			rep.CLBsMoved += from.Area()

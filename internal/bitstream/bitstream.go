@@ -133,6 +133,15 @@ type Controller struct {
 	frame   []uint32
 	inFrame int
 	wcfg    bool
+	// redelivery marks the stream being fed as a re-delivery of frames
+	// already staged write-through on the device: the full protocol (sync,
+	// CRC, FAR sequencing) is enforced and traffic counted, but frame data
+	// is not applied — the device took the content when it was staged, and
+	// a write that landed after staging (the development tool sharing the
+	// fabric) must not be rolled back to the older in-flight copy. This is
+	// what makes a background shift-out invisible to concurrent host-side
+	// reads: a re-delivered stream performs no configuration write at all.
+	redelivery bool
 }
 
 // NewController attaches configuration logic to a device.
@@ -142,6 +151,12 @@ func NewController(dev *fabric.Device) *Controller {
 
 // Stats returns a copy of the traffic counters.
 func (c *Controller) Stats() Stats { return c.stats }
+
+// SetRedelivery switches the controller in or out of re-delivery mode
+// (frames parse and count but are not applied). The background stream worker
+// brackets each staged burst with it; the caller owns the controller for the
+// duration (AsyncPort's contract serialises all other access).
+func (c *Controller) SetRedelivery(on bool) { c.redelivery = on }
 
 // ResetStats zeroes the traffic counters.
 func (c *Controller) ResetStats() { c.stats = Stats{} }
@@ -274,9 +289,15 @@ func (c *Controller) fdriWord(w uint32) error {
 		return fmt.Errorf("%w: FDRI data without WCFG command", ErrProtocol)
 	}
 	if c.pending >= len(c.frame) {
-		// Not the trailing pad frame: commit and advance.
-		if err := c.dev.WriteFrame(c.far.Major, c.far.Minor, c.frame); err != nil {
-			return err
+		// Not the trailing pad frame: commit and advance. A frame whose
+		// content already matches the device is skipped inside the write —
+		// rewriting identical bits is glitch-free, so nothing is marked
+		// stale. A re-delivery stream applies nothing at all (see the
+		// redelivery field).
+		if !c.redelivery {
+			if _, err := c.dev.WriteFrameIfChanged(c.far.Major, c.far.Minor, c.frame); err != nil {
+				return err
+			}
 		}
 		c.stats.FramesWritten++
 		c.advanceFAR()

@@ -2,6 +2,7 @@ package bitstream
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/fabric"
 )
@@ -22,28 +23,179 @@ type Port interface {
 	Name() string
 }
 
+// AsyncPort is a Port whose partial-bitstream delivery can be staged in the
+// background: StreamUpdates enqueues a coalesced burst and returns while the
+// stream is still shifting out, AwaitStream blocks until every queued burst
+// has been delivered and harvests any transport error. The transport time of
+// a burst is accounted deterministically at enqueue time (the cycle count is
+// a pure function of the stream length), so Elapsed reads the same value at
+// every point of the program regardless of how far the background shift has
+// progressed — pipelined and serial runs produce identical cycle accounting.
+//
+// The contract the run-time manager builds its commit pipeline on:
+//
+//   - bursts are delivered strictly in enqueue order (one background worker);
+//   - while any burst is in flight the caller must not touch the port or its
+//     configuration controller through another path (WriteUpdates, ReadFrame
+//     and recovery feeds await internally);
+//   - every frame of an in-flight burst must hold, on the device, exactly the
+//     content being streamed (write-through staging guarantees this), so the
+//     delivery degenerates to reads of the configuration memory and is
+//     invisible to concurrently running host-side planning.
+type AsyncPort interface {
+	Port
+	// StreamUpdates enqueues a burst for background delivery, accounting
+	// its transport time immediately.
+	StreamUpdates(updates []FrameUpdate)
+	// AwaitStream blocks until the queue is drained and returns the first
+	// error any queued burst produced (the error is consumed: a later
+	// AwaitStream starts clean).
+	AwaitStream() error
+	// StreamInFlight reports whether any enqueued burst is undelivered.
+	StreamInFlight() bool
+	// CompletedBursts returns the number of bursts fully delivered since
+	// the port was built. Callers use it to retire frames from their
+	// in-flight tracking without a blocking await.
+	CompletedBursts() uint64
+}
+
+// StreamQueue is the shared background-delivery engine behind AsyncPort
+// implementations: a FIFO of word bursts drained by one lazily started
+// worker goroutine that exits whenever the queue empties, so an idle port
+// holds no goroutine. Deliver is called once per burst, in order, from the
+// worker; its error is sticky until the next Await.
+type StreamQueue struct {
+	// Deliver ships one burst; set once before first use.
+	Deliver func(words []uint32) error
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     [][]uint32
+	running   bool
+	completed uint64
+	err       error
+}
+
+func (q *StreamQueue) init() {
+	if q.cond == nil {
+		q.cond = sync.NewCond(&q.mu)
+	}
+}
+
+// Enqueue queues one burst and starts the worker if it is not running.
+func (q *StreamQueue) Enqueue(words []uint32) {
+	q.mu.Lock()
+	q.init()
+	q.queue = append(q.queue, words)
+	if !q.running {
+		q.running = true
+		go q.drain()
+	}
+	q.mu.Unlock()
+}
+
+func (q *StreamQueue) drain() {
+	q.mu.Lock()
+	for len(q.queue) > 0 {
+		burst := q.queue[0]
+		q.queue = q.queue[1:]
+		q.mu.Unlock()
+		err := q.Deliver(burst)
+		q.mu.Lock()
+		q.completed++
+		if err != nil && q.err == nil {
+			q.err = err
+		}
+	}
+	q.running = false
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Await blocks until the queue is drained and the worker parked, then
+// returns and clears the sticky error.
+func (q *StreamQueue) Await() error {
+	q.mu.Lock()
+	q.init()
+	for q.running {
+		q.cond.Wait()
+	}
+	err := q.err
+	q.err = nil
+	q.mu.Unlock()
+	return err
+}
+
+// InFlight reports whether any burst is queued or being delivered.
+func (q *StreamQueue) InFlight() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.running || len(q.queue) > 0
+}
+
+// Completed returns the number of bursts fully delivered so far.
+func (q *StreamQueue) Completed() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.completed
+}
+
 // ParallelPort models a SelectMAP-style byte-parallel configuration port:
-// one byte per clock, so a 32-bit word takes four clocks.
+// one byte per clock, so a 32-bit word takes four clocks. It implements
+// AsyncPort: bursts can shift out in the background while the host computes,
+// with the clock cost accounted at enqueue time.
 type ParallelPort struct {
 	Ctrl    *Controller
 	ClockHz float64
 	cycles  uint64
+	q       StreamQueue
 }
 
 // NewParallelPort attaches a SelectMAP-style port to a controller.
 func NewParallelPort(ctrl *Controller, clockHz float64) *ParallelPort {
-	return &ParallelPort{Ctrl: ctrl, ClockHz: clockHz}
+	p := &ParallelPort{Ctrl: ctrl, ClockHz: clockHz}
+	p.q.Deliver = func(words []uint32) error {
+		ctrl.SetRedelivery(true)
+		defer ctrl.SetRedelivery(false)
+		return ctrl.Feed(words...)
+	}
+	return p
 }
 
-// WriteUpdates implements Port.
+// WriteUpdates implements Port (synchronous delivery; any queued background
+// stream drains first so the controller sees bursts in order).
 func (p *ParallelPort) WriteUpdates(updates []FrameUpdate) error {
+	if err := p.AwaitStream(); err != nil {
+		return err
+	}
 	words := Partial(p.Ctrl.Device(), updates)
 	p.cycles += uint64(4 * len(words))
 	return p.Ctrl.Feed(words...)
 }
 
+// StreamUpdates implements AsyncPort: the burst's clock cost lands on the
+// port immediately (it is a pure function of the stream length), the words
+// ship from a background worker.
+func (p *ParallelPort) StreamUpdates(updates []FrameUpdate) {
+	words := Partial(p.Ctrl.Device(), updates)
+	p.cycles += uint64(4 * len(words))
+	p.q.Enqueue(words)
+}
+
+// AwaitStream implements AsyncPort.
+func (p *ParallelPort) AwaitStream() error { return p.q.Await() }
+
+// StreamInFlight implements AsyncPort.
+func (p *ParallelPort) StreamInFlight() bool { return p.q.InFlight() }
+
+// CompletedBursts implements AsyncPort.
+func (p *ParallelPort) CompletedBursts() uint64 { return p.q.Completed() }
+
 // ReadFrame implements Port.
 func (p *ParallelPort) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
+	if err := p.AwaitStream(); err != nil {
+		return nil, err
+	}
 	req := ReadFramesRequest(p.Ctrl.Device().FrameWords(), FAR{Major: addr.Major, Minor: addr.Minor}, 1)
 	out, err := p.Ctrl.ExecRead(req)
 	if err != nil {
@@ -64,3 +216,5 @@ func (p *ParallelPort) Name() string { return "SelectMAP" }
 
 // Cycles returns the raw clock cycle count.
 func (p *ParallelPort) Cycles() uint64 { return p.cycles }
+
+var _ AsyncPort = (*ParallelPort)(nil)

@@ -80,6 +80,7 @@ type Device struct {
 
 	columns    []Column
 	majorOfCol []int // array column -> major address
+	frameBase  []int // major -> linear index of its first frame
 	frameWords int   // uniform frame length in 32-bit words
 	frameBits  int   // uniform frame length in bits
 	frames     [][]uint32
@@ -127,7 +128,9 @@ func NewDevice(p Preset) *Device {
 	add(ColBRAM, 64, -1)
 
 	d.frames = make([][]uint32, 0, d.totalFrames())
+	d.frameBase = make([]int, len(d.columns))
 	for _, col := range d.columns {
+		d.frameBase[col.Major] = len(d.frames)
 		for i := 0; i < col.Frames; i++ {
 			d.frames = append(d.frames, make([]uint32, d.frameWords))
 			d.addrOfFrame = append(d.addrOfFrame, FrameAddr{Major: col.Major, Minor: i})
@@ -195,11 +198,7 @@ func (d *Device) frameIndex(major, minor int) (int, error) {
 	if minor < 0 || minor >= col.Frames {
 		return 0, fmt.Errorf("fabric: minor %d out of range [0,%d) in major %d", minor, col.Frames, major)
 	}
-	base := 0
-	for _, c := range d.columns[:major] {
-		base += c.Frames
-	}
-	return base + minor, nil
+	return d.frameBase[major] + minor, nil
 }
 
 // ReadFrame copies one configuration frame out of the device.
@@ -221,19 +220,48 @@ func (d *Device) ReadFrame(major, minor int) ([]uint32, error) {
 // property the relocation procedure depends on), and the simulator verifies
 // that by re-deriving and comparing.
 func (d *Device) WriteFrame(major, minor int, data []uint32) error {
+	_, err := d.writeFrame(major, minor, data, true)
+	return err
+}
+
+func (d *Device) writeFrame(major, minor int, data []uint32, force bool) (bool, error) {
 	idx, err := d.frameIndex(major, minor)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if len(data) != d.frameWords {
-		return fmt.Errorf("fabric: frame data length %d, want %d words", len(data), d.frameWords)
+		return false, fmt.Errorf("fabric: frame data length %d, want %d words", len(data), d.frameWords)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	copy(d.frames[idx], data)
+	cur := d.frames[idx]
+	if !force {
+		same := true
+		for i, w := range data {
+			if cur[i] != w {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false, nil
+		}
+	}
+	copy(cur, data)
 	d.touchColumnLocked(major)
 	d.frameGen[idx] = d.gen
-	return nil
+	return true, nil
+}
+
+// WriteFrameIfChanged writes one configuration frame only when the data
+// differs from the current content, reporting whether anything changed. A
+// no-delta write bumps no generation counter and marks nothing stale — the
+// configuration logic uses it to deliver partial bitstreams whose frames were
+// already staged write-through, so a background shift-out re-delivering
+// staged data is invisible to host-side generation tracking (and performs
+// only reads of the configuration memory).
+func (d *Device) WriteFrameIfChanged(major, minor int, data []uint32) (bool, error) {
+	return d.writeFrame(major, minor, data, false)
 }
 
 func (d *Device) touchColumnLocked(major int) {
@@ -349,13 +377,30 @@ func (d *Device) GetTileField(c Coord, slot, width int) uint32 {
 }
 
 func (d *Device) getTileFieldLocked(c Coord, slot, width int) uint32 {
+	// Hoist the frame lookup out of the bit loop: consecutive slots share a
+	// frame until the slot index crosses a BitsPerTileRow boundary, so the
+	// frame (and the bit base within it) is resolved once per run. This
+	// path sits under every PIP-mask and cell-config read — the hottest
+	// loop of the occupancy view and the router's free-resource checks.
 	var v uint32
-	for i := 0; i < width; i++ {
-		major, minor, bit := d.tileBitAddr(c, slot+i)
-		idx, _ := d.frameIndex(major, minor)
-		if d.getBitLocked(idx, bit) {
-			v |= 1 << i
+	base := d.frameBase[d.majorOfCol[c.Col]]
+	rowBase := c.Row * BitsPerTileRow
+	i := 0
+	for i < width {
+		s := slot + i
+		off := s % BitsPerTileRow
+		n := BitsPerTileRow - off
+		if n > width-i {
+			n = width - i
 		}
+		frame := d.frames[base+s/BitsPerTileRow]
+		for k := 0; k < n; k++ {
+			bit := rowBase + off + k
+			if frame[bit/32]>>(bit%32)&1 == 1 {
+				v |= 1 << (i + k)
+			}
+		}
+		i += n
 	}
 	return v
 }

@@ -192,8 +192,10 @@ func (d *Device) HasEnabledFanout(n NodeID) bool {
 		// border, distinct template slots of one sink can collapse onto the
 		// same pad node.
 		tile, _ := d.padBorderTile(pad)
+		d.mu.RLock()
+		defer d.mu.RUnlock()
 		for s := 0; s < sinkCount; s++ {
-			mask := d.PIPMask(tile, s)
+			mask := uint16(d.getTileFieldLocked(tile, d.pipOffset[s], d.pipWidth[s]))
 			if mask == 0 {
 				continue
 			}
@@ -206,13 +208,19 @@ func (d *Device) HasEnabledFanout(n NodeID) bool {
 		}
 		return false
 	}
+	// One lock acquisition and one single-bit probe per fanout edge — this
+	// runs per node touched by the incremental view, so the per-edge
+	// full-mask read (and its per-call lock) was the view's hottest path.
 	c, local, _ := d.SplitNode(n)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, fr := range fanoutTemplate[local] {
 		st := Coord{Row: c.Row + fr.DRow, Col: c.Col + fr.DCol}
 		if !d.InBounds(st) {
 			continue
 		}
-		if d.PIPMask(st, fr.SinkLocal)>>fr.Bit&1 == 1 {
+		major, minor, bit := d.tileBitAddr(st, d.pipOffset[fr.SinkLocal]+fr.Bit)
+		if d.getBitLocked(d.frameBase[major]+minor, bit) {
 			return true
 		}
 	}

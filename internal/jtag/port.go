@@ -8,12 +8,18 @@ import (
 )
 
 // Port drives a Chain as a Boundary-Scan configuration port, counting every
-// TCK cycle. It implements bitstream.Port. The paper performed all
-// reconfiguration through this interface at a 20 MHz test clock.
+// TCK cycle. It implements bitstream.Port and bitstream.AsyncPort: a partial
+// bitstream can be enqueued with StreamUpdates and shifts out on a
+// background worker while the host plans the next operation — the paper's
+// natural pipeline, since the Boundary-Scan shift is by far the slowest
+// stage. The TCK cost of a burst is a pure function of its word count, so it
+// is added to the cycle counter at enqueue time: Elapsed is deterministic
+// and identical between pipelined and serial delivery.
 type Port struct {
 	Chain  *Chain
 	TCKHz  float64
 	cycles uint64
+	q      bitstream.StreamQueue
 }
 
 // DefaultTCKHz is the paper's Boundary-Scan test clock frequency.
@@ -23,6 +29,7 @@ const DefaultTCKHz = 20e6
 // resets the TAP.
 func NewPort(ctrl *bitstream.Controller, tckHz float64) *Port {
 	p := &Port{Chain: NewChain(ctrl, 0x0050C093 /* Virtex-family-style idcode */), TCKHz: tckHz}
+	p.q.Deliver = p.deliverBurst
 	p.ResetTAP()
 	return p
 }
@@ -41,36 +48,44 @@ func (p *Port) ResetTAP() {
 	p.step(false, false)
 }
 
+// stepFn advances a TAP by one TCK cycle. The port's own step counts into
+// its cycle counter; the background worker supplies a locally counting one.
+type stepFn func(tms, tdi bool) bool
+
 // LoadIR shifts an instruction into the IR and returns to Run-Test/Idle.
-func (p *Port) LoadIR(code uint8) {
-	p.step(true, false)  // Select-DR
-	p.step(true, false)  // Select-IR
-	p.step(false, false) // Capture-IR
-	p.step(false, false) // Shift-IR (first shift happens in this state)
+func (p *Port) LoadIR(code uint8) { loadIRWith(p.step, code) }
+
+func loadIRWith(step stepFn, code uint8) {
+	step(true, false)  // Select-DR
+	step(true, false)  // Select-IR
+	step(false, false) // Capture-IR
+	step(false, false) // Shift-IR (first shift happens in this state)
 	for i := 0; i < IRLength; i++ {
 		last := i == IRLength-1
-		p.step(last, code>>i&1 == 1) // exit on last bit
+		step(last, code>>i&1 == 1) // exit on last bit
 	}
-	p.step(true, false)  // Update-IR
-	p.step(false, false) // Run-Test/Idle
+	step(true, false)  // Update-IR
+	step(false, false) // Run-Test/Idle
 }
 
 // ShiftDRIn shifts words into the current data register MSB-first and
 // returns to Run-Test/Idle.
-func (p *Port) ShiftDRIn(words []uint32) {
-	p.step(true, false)  // Select-DR
-	p.step(false, false) // Capture-DR
-	p.step(false, false) // Shift-DR
+func (p *Port) ShiftDRIn(words []uint32) { shiftDRInWith(p.step, words) }
+
+func shiftDRInWith(step stepFn, words []uint32) {
+	step(true, false)  // Select-DR
+	step(false, false) // Capture-DR
+	step(false, false) // Shift-DR
 	total := len(words) * 32
 	n := 0
 	for _, w := range words {
 		for b := 31; b >= 0; b-- {
 			n++
-			p.step(n == total, w>>b&1 == 1)
+			step(n == total, w>>b&1 == 1)
 		}
 	}
-	p.step(true, false)  // Update-DR
-	p.step(false, false) // Run-Test/Idle
+	step(true, false)  // Update-DR
+	step(false, false) // Run-Test/Idle
 }
 
 // ShiftDROut shifts n words out of the current data register.
@@ -99,8 +114,12 @@ func (p *Port) ShiftDROut(nWords int) []uint32 {
 }
 
 // WriteUpdates implements bitstream.Port: the frame updates are packetised
-// into a partial bitstream and shifted through CFG_IN.
+// into a partial bitstream and shifted through CFG_IN. Any background stream
+// drains first, so the chain sees bursts strictly in order.
 func (p *Port) WriteUpdates(updates []bitstream.FrameUpdate) error {
+	if err := p.AwaitStream(); err != nil {
+		return err
+	}
 	words := bitstream.Partial(p.Chain.ctrl.Device(), updates)
 	p.LoadIR(InstrCfgIn)
 	p.ShiftDRIn(words)
@@ -110,9 +129,64 @@ func (p *Port) WriteUpdates(updates []bitstream.FrameUpdate) error {
 	return nil
 }
 
+// burstCycles is the TCK cost of delivering one CFG_IN burst: the IR load
+// (4 entry states, IRLength shifts, 2 exit states) plus the DR shift (3
+// entry states, 32 per word, 2 exit states). It must match what LoadIR and
+// ShiftDRIn actually step — deliverBurst asserts the two agree.
+func burstCycles(nWords int) uint64 {
+	return uint64(IRLength+6) + uint64(32*nWords+5)
+}
+
+// StreamUpdates implements bitstream.AsyncPort: the burst's TCK cost lands
+// on the cycle counter now; the TAP stepping — the expensive part of the
+// Boundary-Scan model — runs on the queue's background worker.
+func (p *Port) StreamUpdates(updates []bitstream.FrameUpdate) {
+	words := bitstream.Partial(p.Chain.ctrl.Device(), updates)
+	p.cycles += burstCycles(len(words))
+	p.q.Enqueue(words)
+}
+
+// AwaitStream implements bitstream.AsyncPort.
+func (p *Port) AwaitStream() error { return p.q.Await() }
+
+// StreamInFlight implements bitstream.AsyncPort.
+func (p *Port) StreamInFlight() bool { return p.q.InFlight() }
+
+// CompletedBursts implements bitstream.AsyncPort.
+func (p *Port) CompletedBursts() uint64 { return p.q.Completed() }
+
+// deliverBurst shifts one queued burst through the TAP on the worker
+// goroutine. The worker owns the chain (and through it the configuration
+// controller) between Enqueue and Await; cycles were accounted at enqueue,
+// so the local count only cross-checks the closed-form burstCycles. The
+// burst re-delivers frames already staged write-through, so the controller
+// runs in re-delivery mode: full protocol, no configuration write.
+func (p *Port) deliverBurst(words []uint32) error {
+	p.Chain.ctrl.SetRedelivery(true)
+	defer p.Chain.ctrl.SetRedelivery(false)
+	var n uint64
+	step := func(tms, tdi bool) bool {
+		n++
+		return p.Chain.Step(tms, tdi)
+	}
+	loadIRWith(step, InstrCfgIn)
+	shiftDRInWith(step, words)
+	if err := p.Chain.Err(); err != nil {
+		return err
+	}
+	if n != burstCycles(len(words)) {
+		return fmt.Errorf("jtag: burst stepped %d cycles, accounted %d", n, burstCycles(len(words)))
+	}
+	return nil
+}
+
 // ReadFrame implements bitstream.Port: a readback request goes in through
-// CFG_IN and the frame comes back through CFG_OUT.
+// CFG_IN and the frame comes back through CFG_OUT. Any background stream
+// drains first.
 func (p *Port) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
+	if err := p.AwaitStream(); err != nil {
+		return nil, err
+	}
 	dev := p.Chain.ctrl.Device()
 	req := bitstream.ReadFramesRequest(dev.FrameWords(), bitstream.FAR{Major: addr.Major, Minor: addr.Minor}, 1)
 	p.LoadIR(InstrCfgIn)
@@ -137,4 +211,7 @@ func (p *Port) Name() string { return "Boundary-Scan" }
 // Cycles returns the total TCK cycles consumed.
 func (p *Port) Cycles() uint64 { return p.cycles }
 
-var _ bitstream.Port = (*Port)(nil)
+var (
+	_ bitstream.Port      = (*Port)(nil)
+	_ bitstream.AsyncPort = (*Port)(nil)
+)

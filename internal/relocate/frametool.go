@@ -38,6 +38,10 @@ type FrameTool struct {
 	// Like VerifyHook it forces per-frame streaming.
 	ReadbackVerify bool
 
+	// Serial forces synchronous delivery even on an AsyncPort — the
+	// pipelined/serial bit-identity property tests and ablations use it.
+	Serial bool
+
 	frames  int
 	genSeen uint64
 
@@ -50,6 +54,21 @@ type FrameTool struct {
 
 	touched  []fabric.FrameAddr
 	touchSet map[fabric.FrameAddr]bool
+
+	// async is the port's background-delivery interface (nil when the port
+	// cannot stream). streamingSet tracks every frame of every UNDELIVERED
+	// burst: a new write targeting one of them must first drain the queue,
+	// because on a real part the in-flight stream and the new write would
+	// race on the configuration port. streamBursts holds the per-burst
+	// frame lists in enqueue order; finished bursts are pruned lazily
+	// against the port's completed-burst counter, so a frame stops gating
+	// the moment its burst has fully shifted out — no blocking await
+	// needed. A frame appears in at most one unpruned burst: staging it
+	// again while its burst is live is exactly what the gate serialises.
+	async        bitstream.AsyncPort
+	streamBursts [][]fabric.FrameAddr
+	burstsDone   uint64
+	streamingSet map[fabric.FrameAddr]bool
 
 	sink ViewSink
 }
@@ -88,10 +107,13 @@ func NewFrameTool(dev *fabric.Device, port bitstream.Port) (*FrameTool, error) {
 	if err != nil {
 		return nil, err
 	}
+	async, _ := port.(bitstream.AsyncPort)
 	return &FrameTool{
 		dev: dev, port: port, shadow: shadow, genSeen: dev.Generation(),
-		pendingSet: make(map[fabric.FrameAddr]bool),
-		touchSet:   make(map[fabric.FrameAddr]bool),
+		pendingSet:   make(map[fabric.FrameAddr]bool),
+		touchSet:     make(map[fabric.FrameAddr]bool),
+		async:        async,
+		streamingSet: make(map[fabric.FrameAddr]bool),
 	}, nil
 }
 
@@ -184,7 +206,12 @@ func (ft *FrameTool) Apply(edits []Edit) error {
 		if !perFrame {
 			continue
 		}
+		// The cautious modes are strictly serial: deliver the frame and
+		// drain the stream before probing, as the paper's tool did.
 		if err := ft.Flush(); err != nil {
+			return err
+		}
+		if err := ft.AwaitStream(); err != nil {
 			return err
 		}
 		if ft.ReadbackVerify {
@@ -216,7 +243,22 @@ func (ft *FrameTool) Apply(edits []Edit) error {
 // batch), and the frame joins the pending set. A frame staged twice in one
 // batch streams once — Flush reads the shadow, which holds the final data.
 // The slice is owned by the tool from here on.
+//
+// Writing a frame that is part of an in-flight background stream first
+// drains the stream (serial fallback): the queued burst carries the frame's
+// previous staged content, and delivering it after this write would roll the
+// configuration back to stale data. This gate is what makes the pipelined
+// commit bit-identical to serial mode for ANY operation mix — the engine's
+// disjointness pre-check merely avoids hitting it mid-procedure.
 func (ft *FrameTool) stage(addr fabric.FrameAddr, data []uint32) error {
+	if len(ft.streamingSet) > 0 && ft.streamingSet[addr] {
+		ft.pruneStreams()
+	}
+	if len(ft.streamingSet) > 0 && ft.streamingSet[addr] {
+		if err := ft.AwaitStream(); err != nil {
+			return err
+		}
+	}
 	ft.shadow.NoteOwned(addr, data)
 	if err := ft.dev.WriteFrame(addr.Major, addr.Minor, data); err != nil {
 		return err
@@ -234,9 +276,12 @@ func (ft *FrameTool) stage(addr fabric.FrameAddr, data []uint32) error {
 	return nil
 }
 
-// Flush streams every pending frame through the port as one partial
-// bitstream, sorted by frame address so consecutive frames share FDRI
-// bursts. It is a no-op when nothing is pending.
+// Flush stages every pending frame into one partial bitstream, sorted by
+// frame address so consecutive frames share FDRI bursts. It is a no-op when
+// nothing is pending. On an AsyncPort the burst is enqueued for background
+// shift-out and Flush returns while it is still streaming — stage-stream;
+// AwaitStream is the matching harvest. On a synchronous port (or with
+// Serial set) the burst is delivered before Flush returns.
 //
 // Designer-path writes may have landed since the frames were staged — in a
 // batched plan, a Load places directly onto the device between two ops'
@@ -270,6 +315,19 @@ func (ft *FrameTool) Flush() error {
 		}
 		updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
 	}
+	if ft.async != nil && !ft.Serial {
+		// Stage-stream: the burst shifts out in the background. The words
+		// are built from the shadow's current slices at enqueue time (the
+		// stream copies the data), so later staging cannot mutate an
+		// in-flight burst. Every frame gates conflicting writes until the
+		// burst completes (pruneStreams) or the stream is awaited.
+		for _, addr := range addrs {
+			ft.streamingSet[addr] = true
+		}
+		ft.streamBursts = append(ft.streamBursts, addrs)
+		ft.async.StreamUpdates(updates)
+		return nil
+	}
 	if err := ft.port.WriteUpdates(updates); err != nil {
 		return err
 	}
@@ -281,6 +339,61 @@ func (ft *FrameTool) Flush() error {
 		ft.sink.Advanced()
 	}
 	return nil
+}
+
+// pruneStreams retires the frames of every burst the background worker has
+// finished shifting out since the last check — the non-blocking side of the
+// in-flight tracking.
+func (ft *FrameTool) pruneStreams() {
+	if ft.async == nil || len(ft.streamBursts) == 0 {
+		return
+	}
+	done := ft.async.CompletedBursts()
+	for ft.burstsDone < done && len(ft.streamBursts) > 0 {
+		for _, addr := range ft.streamBursts[0] {
+			delete(ft.streamingSet, addr)
+		}
+		ft.streamBursts = ft.streamBursts[1:]
+		ft.burstsDone++
+	}
+}
+
+// AwaitStream blocks until every burst Flush enqueued has shifted out and
+// returns the first transport error among them, clearing the streaming set
+// either way. A no-op on a synchronous port or when nothing is in flight.
+func (ft *FrameTool) AwaitStream() error {
+	if ft.async == nil {
+		return nil
+	}
+	err := ft.async.AwaitStream()
+	ft.streamBursts = nil
+	ft.burstsDone = ft.async.CompletedBursts()
+	if len(ft.streamingSet) > 0 {
+		clear(ft.streamingSet)
+	}
+	return err
+}
+
+// StreamInFlight reports whether a background stream is still shifting out.
+func (ft *FrameTool) StreamInFlight() bool {
+	ft.pruneStreams()
+	return len(ft.streamBursts) > 0
+}
+
+// StreamDisjoint reports whether none of the given frames is part of an
+// in-flight stream — the engine's overlap rule: op N+1 may start executing
+// while op N's stream shifts out only if their frame sets are disjoint.
+func (ft *FrameTool) StreamDisjoint(addrs []fabric.FrameAddr) bool {
+	ft.pruneStreams()
+	if len(ft.streamingSet) == 0 {
+		return true
+	}
+	for _, addr := range addrs {
+		if ft.streamingSet[addr] {
+			return false
+		}
+	}
+	return true
 }
 
 // BeginBatch opens (or nests) a coalescing batch: staged frames accumulate
@@ -353,9 +466,15 @@ func (ft *FrameTool) BeginSnapshot() (*bitstream.Snapshot, error) {
 }
 
 // RecoveryWords builds the partial recovery stream for a snapshot taken with
-// BeginSnapshot. It synchronises first so designer-path writes since the
-// checkpoint are part of the dirty set.
+// BeginSnapshot. Any in-flight stream drains first — the recovery words are
+// fed to the controller the worker would otherwise still own, and the
+// rollback overwrites frames the stream may cover. The drained stream's own
+// error is discarded: a rollback is already under way, and the recovery
+// stream supersedes whatever the failed delivery left behind. It then
+// synchronises so designer-path writes since the checkpoint are part of the
+// dirty set.
 func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
+	_ = ft.AwaitStream()
 	if err := ft.sync(); err != nil {
 		return nil, err
 	}
@@ -370,6 +489,7 @@ func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
 // picture from exactly those frames instead of rescanning the device. The
 // snapshot stays armed, so the same checkpoint can back another attempt.
 func (ft *FrameTool) CompleteRestore(snap *bitstream.Snapshot) {
+	_ = ft.AwaitStream() // see RecoveryWords: a rollback supersedes the stream
 	dirty := snap.Frames()
 	ft.AbortPending()
 	snap.Rollback()

@@ -37,6 +37,13 @@ type view struct {
 	used    map[fabric.NodeID]bool
 	inUse   map[fabric.CellRef]bool
 	freeCLB map[fabric.Coord]bool
+	// freePerRow is the row-bucketed spatial index over freeCLB: the number
+	// of free CLBs per array row, maintained by the same deltas that keep
+	// freeCLB current. findFreeCLB's expanding-ring lookup uses it to skip
+	// rows with nothing free, making aux-CLB placement O(neighbourhood)
+	// instead of a scan over the whole free set.
+	freePerRow []int
+	freeCount  int
 }
 
 func newView(dev *fabric.Device) *view {
@@ -51,6 +58,8 @@ func (v *view) rescan() {
 	v.used = map[fabric.NodeID]bool{}
 	v.inUse = map[fabric.CellRef]bool{}
 	v.freeCLB = map[fabric.Coord]bool{}
+	v.freePerRow = make([]int, v.dev.Rows)
+	v.freeCount = 0
 	dev := v.dev
 	for row := 0; row < dev.Rows; row++ {
 		for col := 0; col < dev.Cols; col++ {
@@ -82,6 +91,8 @@ func (v *view) rescan() {
 			}
 			if clbFree {
 				v.freeCLB[c] = true
+				v.freePerRow[row]++
+				v.freeCount++
 			}
 		}
 	}
@@ -217,10 +228,17 @@ func (v *view) markTileFree(c fabric.Coord) {
 			free = false
 		}
 	}
+	if free == v.freeCLB[c] {
+		return
+	}
 	if free {
 		v.freeCLB[c] = true
+		v.freePerRow[c.Row]++
+		v.freeCount++
 	} else {
 		delete(v.freeCLB, c)
+		v.freePerRow[c.Row]--
+		v.freeCount--
 	}
 }
 
@@ -518,26 +536,70 @@ func (v *view) exclusiveSuffix(chain []fabric.NodeID) []fabric.NodeID {
 // findFreeCLB locates a free CLB near a coordinate (for the auxiliary
 // relocation circuit, which "must be implemented in a nearby free CLB"),
 // excluding the given coordinates.
+//
+// The lookup walks expanding Manhattan rings around the target over the
+// row-bucketed index: each ring of radius d visits only the (at most two)
+// candidate columns per row, rows with no free CLB are skipped outright, and
+// the first hit is the answer — cost O(neighbourhood of the nearest free
+// CLB), not O(free set). Enumeration order matches the previous full scan's
+// tie-break exactly: smallest distance, then smallest row, then smallest
+// column (rows ascend within a ring, and the west candidate precedes the
+// east one).
 func (v *view) findFreeCLB(near fabric.Coord, exclude ...fabric.Coord) (fabric.Coord, error) {
 	v.refresh()
-	ex := map[fabric.Coord]bool{}
-	for _, c := range exclude {
-		ex[c] = true
-	}
-	best := fabric.Coord{Row: -1}
-	bestDist := 1 << 30
-	for c := range v.freeCLB {
-		if ex[c] {
-			continue
+	free := v.freeCount
+	for i, c := range exclude {
+		dup := false
+		for _, p := range exclude[:i] {
+			if p == c {
+				dup = true
+				break
+			}
 		}
-		d := c.ManhattanDist(near)
-		if d < bestDist ||
-			(d == bestDist && (c.Row < best.Row || (c.Row == best.Row && c.Col < best.Col))) {
-			best, bestDist = c, d
+		if !dup && v.freeCLB[c] {
+			free--
 		}
 	}
-	if best.Row < 0 {
-		return fabric.Coord{}, fmt.Errorf("relocate: no free CLB available near %v", near)
+	if free > 0 {
+		dev := v.dev
+		isHit := func(row, col int) bool {
+			if col < 0 || col >= dev.Cols {
+				return false
+			}
+			c := fabric.Coord{Row: row, Col: col}
+			if !v.freeCLB[c] {
+				return false
+			}
+			for _, e := range exclude {
+				if e == c {
+					return false
+				}
+			}
+			return true
+		}
+		maxD := dev.Rows + dev.Cols
+		for d := 0; d <= maxD; d++ {
+			for dr := -d; dr <= d; dr++ {
+				row := near.Row + dr
+				if row < 0 || row >= dev.Rows || v.freePerRow[row] == 0 {
+					continue
+				}
+				rem := d - abs(dr)
+				if isHit(row, near.Col-rem) {
+					return fabric.Coord{Row: row, Col: near.Col - rem}, nil
+				}
+				if rem > 0 && isHit(row, near.Col+rem) {
+					return fabric.Coord{Row: row, Col: near.Col + rem}, nil
+				}
+			}
+		}
 	}
-	return best, nil
+	return fabric.Coord{}, fmt.Errorf("relocate: no free CLB available near %v", near)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }

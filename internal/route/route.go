@@ -91,11 +91,23 @@ type Router struct {
 	best        []float64
 	bestAt      []uint64
 
-	// Per-net tree membership, stamped with treeEpoch.
+	// Per-net tree membership, stamped with treeEpoch. treePrev[n] is the
+	// predecessor of n inside the current net's tree (valid only while
+	// treeAt[n] == treeEpoch); walking it from a sink reconstructs the full
+	// source-to-sink path without keeping per-node path copies.
 	treeEpoch uint64
 	treeAt    []uint64
+	treePrev  []fabric.NodeID
 
 	q pq // reusable open set
+
+	// Reusable per-call scratch: the growing seed list of the net being
+	// routed and the path buffer reconstruct writes into. Both are valid
+	// only until the next routeNet/routeOne call, and both keep RouteAll
+	// allocation-flat — allocations track the paths returned to the caller,
+	// not the search volume.
+	seedBuf []fabric.NodeID
+	pathBuf []fabric.NodeID
 }
 
 // NewRouter creates a router over a device.
@@ -120,6 +132,7 @@ func NewRouter(dev *fabric.Device) *Router {
 		bestAt:      make([]uint64, n),
 		treeEpoch:   1,
 		treeAt:      make([]uint64, n),
+		treePrev:    make([]fabric.NodeID, n),
 	}
 }
 
@@ -284,15 +297,39 @@ func (r *Router) tileOf(n fabric.NodeID) fabric.Coord {
 	return c
 }
 
-// heuristicPerTile underestimates the cheapest per-tile delay (hex wires
-// cover six tiles for 1.1 ns), keeping A* admissible.
-const heuristicPerTile = 1.1 / 6
+// heuristicPerTile underestimates the cheapest per-tile cost: a hex wire
+// covers six tiles for 1.10 ns of wire delay plus the 0.01 per-hop bias, so
+// no expansion can cover a tile for less. Keeping it tight keeps A* focused;
+// keeping it a true lower bound keeps it admissible.
+const heuristicPerTile = (1.10 + 0.01) / 6
+
+// searchMargins are the staged bounding-box inflations of a sink search: the
+// box spans the current tree and the sink, inflated by the margin. Most nets
+// are short and resolve inside the first box at a fraction of the expansion
+// cost of a whole-device search; a search that exhausts a box retries with
+// the next inflation, and the final stage is unbounded, so reachability is
+// never lost — only found later.
+var searchMargins = [...]int{3, 9, -1}
 
 // routeOne expands from the current net tree (stamped into treeAt by the
-// caller) to one sink. presentFactor scales the congestion penalty. Returns
-// the path from a tree node to the sink.
+// caller) to one sink, inflating the search bounding box on failure.
+// presentFactor scales the congestion penalty. Returns the path from a tree
+// node to the sink, valid until the next search (it lives in reusable
+// scratch).
 func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 	netIdx int32, presentFactor float64) ([]fabric.NodeID, error) {
+	for _, margin := range searchMargins {
+		if path := r.searchOne(seeds, sink, netIdx, presentFactor, margin); path != nil {
+			return path, nil
+		}
+	}
+	return nil, fmt.Errorf("route: no path to sink %d", sink)
+}
+
+// searchOne is one bounded A* expansion; margin < 0 means unbounded. It
+// returns nil when the open set exhausts without reaching the sink.
+func (r *Router) searchOne(seeds []fabric.NodeID, sink fabric.NodeID,
+	netIdx int32, presentFactor float64, margin int) []fabric.NodeID {
 
 	// Pad sinks are reached through their candidate pre-pad wires.
 	var prePad []fabric.NodeID
@@ -310,6 +347,32 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		return false
 	}
 
+	// Bounding box over the tree's tiles and the sink, inflated by margin.
+	bounded := margin >= 0
+	minR, maxR := sinkTile.Row, sinkTile.Row
+	minC, maxC := sinkTile.Col, sinkTile.Col
+	if bounded {
+		for _, n := range seeds {
+			t := r.tileOf(n)
+			if t.Row < minR {
+				minR = t.Row
+			}
+			if t.Row > maxR {
+				maxR = t.Row
+			}
+			if t.Col < minC {
+				minC = t.Col
+			}
+			if t.Col > maxC {
+				maxC = t.Col
+			}
+		}
+		minR -= margin
+		maxR += margin
+		minC -= margin
+		maxC += margin
+	}
+
 	r.searchEpoch++
 	se := r.searchEpoch
 	r.q = r.q[:0]
@@ -320,7 +383,7 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 	}
 
 	reconstruct := func(from fabric.NodeID) []fabric.NodeID {
-		var path []fabric.NodeID
+		path := r.pathBuf[:0]
 		for n := from; n != fabric.InvalidNode; {
 			path = append(path, n)
 			if r.treeAt[n] == r.treeEpoch {
@@ -332,6 +395,7 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 			n = r.prev[n]
 		}
 		reverse(path)
+		r.pathBuf = path
 		return path
 	}
 
@@ -340,6 +404,10 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		// connected in PARALLEL — the relocation procedure's core move);
 		// only intermediate nodes must be free.
 		if r.blockedAt[nxt] == r.epoch && nxt != target {
+			return
+		}
+		t := r.tileOf(nxt)
+		if bounded && (t.Row < minR || t.Row > maxR || t.Col < minC || t.Col > maxC) {
 			return
 		}
 		// Nodes owned by another net cost extra (negotiation) instead of
@@ -354,7 +422,7 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		}
 		r.best[nxt], r.bestAt[nxt] = c, se
 		r.prev[nxt], r.prevAt[nxt] = cur, se
-		est := c + float64(r.tileOf(nxt).ManhattanDist(sinkTile))*heuristicPerTile
+		est := c + float64(t.ManhattanDist(sinkTile))*heuristicPerTile
 		r.q.push(item{node: nxt, cost: c, est: est})
 	}
 
@@ -364,19 +432,19 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 			continue
 		}
 		if it.node == target {
-			return reconstruct(it.node), nil
+			return reconstruct(it.node)
 		}
 		if isPrePad(it.node) {
 			// One more hop into the pad.
 			r.prev[target], r.prevAt[target] = it.node, se
 			r.best[target], r.bestAt[target] = it.cost, se
-			return reconstruct(target), nil
+			return reconstruct(target)
 		}
 		for _, nxt := range r.fanout(it.node) {
 			expand(it.node, it.cost, nxt)
 		}
 	}
-	return nil, fmt.Errorf("route: no path to sink %d", sink)
+	return nil
 }
 
 func reverse(p []fabric.NodeID) {
@@ -432,40 +500,55 @@ func (r *Router) RouteAll(nets []Net) ([]RoutedNet, error) {
 }
 
 // routeNet routes all sinks of one net as a Steiner-ish tree (each sink
-// reuses the partial tree).
+// reuses the partial tree). The tree's structure lives in the epoch-stamped
+// treePrev array — no per-node path copies — and the returned paths share
+// one slab allocated for the caller, so routing cost is allocation-flat:
+// proportional to the paths handed back, not to the search volume.
 func (r *Router) routeNet(net Net, netIdx int32, presentFactor float64) (*RoutedNet, error) {
 	if len(net.Sinks) == 0 {
 		return nil, fmt.Errorf("net has no sinks")
 	}
-	rn := &RoutedNet{Net: net, Paths: map[fabric.NodeID][]fabric.NodeID{}}
+	rn := &RoutedNet{Net: net, Paths: make(map[fabric.NodeID][]fabric.NodeID, len(net.Sinks))}
 	r.treeEpoch++
 	r.treeAt[net.Source] = r.treeEpoch
-	seeds := []fabric.NodeID{net.Source}
-	// Track, for each tree node, the path from source to it so sink paths
-	// can be stitched.
-	toNode := map[fabric.NodeID][]fabric.NodeID{net.Source: {net.Source}}
+	r.treePrev[net.Source] = fabric.InvalidNode
+	seeds := append(r.seedBuf[:0], net.Source)
+	rn.Tree = append(rn.Tree, net.Source)
+	var slab []fabric.NodeID // backs every returned path; owned by the caller
 	for _, sink := range net.Sinks {
 		seg, err := r.routeOne(seeds, sink, netIdx, presentFactor)
 		if err != nil {
+			r.seedBuf = seeds
 			return nil, err
 		}
-		// seg starts at an existing tree node.
-		root := seg[0]
-		full := append(append([]fabric.NodeID{}, toNode[root]...), seg[1:]...)
-		rn.Paths[sink] = full
-		for i, n := range seg {
-			if i == 0 {
-				continue
-			}
+		// seg starts at an existing tree node; graft the new suffix on. A
+		// pad joins the tree (it is part of the net and must be blocked for
+		// other nets) but never seeds later sinks: an output pad is a
+		// terminal — a signal cannot re-enter the array through it, and a
+		// search expanded from a pad seed would build exactly that
+		// physically dead branch (pad -> border wire -> ... -> pin).
+		for i := 1; i < len(seg); i++ {
+			n := seg[i]
 			if r.treeAt[n] != r.treeEpoch {
 				r.treeAt[n] = r.treeEpoch
-				seeds = append(seeds, n)
+				r.treePrev[n] = seg[i-1]
+				rn.Tree = append(rn.Tree, n)
+				if n < r.dev.PadBase() {
+					seeds = append(seeds, n)
+				}
 			}
-			toNode[n] = full[:len(full)-(len(seg)-1-i)]
 		}
+		// Full source-to-sink path: walk the tree predecessors. Appends may
+		// grow the slab; earlier sub-slices keep their (already written)
+		// backing array, so sharing is safe.
+		start := len(slab)
+		for n := sink; n != fabric.InvalidNode; n = r.treePrev[n] {
+			slab = append(slab, n)
+		}
+		reverse(slab[start:])
+		rn.Paths[sink] = slab[start:len(slab):len(slab)]
 	}
-	rn.Tree = make([]fabric.NodeID, len(seeds))
-	copy(rn.Tree, seeds)
+	r.seedBuf = seeds
 	return rn, nil
 }
 

@@ -286,3 +286,52 @@ func TestRouteNetNoSinks(t *testing.T) {
 		t.Error("net with no sinks accepted")
 	}
 }
+
+// TestPadSinkIsTerminal pins the pad-terminal rule: when a multi-sink net
+// includes an output pad, the pad must never seed the search for the
+// remaining sinks — a signal cannot re-enter the array through an output
+// pad, and a path built "through" the pad (pad -> border wire -> pin) is
+// electrically dead (the branch would float, and the fabric simulator
+// latches the resulting X into downstream state). The second sink here sits
+// right next to the pad, so a pad seed would win the search instantly if it
+// were allowed.
+func TestPadSinkIsTerminal(t *testing.T) {
+	dev := fabric.NewDevice(fabric.XCV50)
+	src := dev.NodeIDAt(fabric.Coord{Row: 1, Col: 2}, fabric.LocalOutX(0))
+	pad := fabric.PadRef{Side: fabric.East, Pos: 5, K: 0}
+	padNode := dev.PadNodeID(pad)
+	pin := dev.NodeIDAt(fabric.Coord{Row: 5, Col: 23}, fabric.LocalPinI(0, 0))
+	r := NewRouter(dev)
+	routed, err := r.RouteAll([]Net{{Name: "n", Source: src, Sinks: []fabric.NodeID{padNode, pin}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sink, path := range routed[0].Paths {
+		for i, n := range path {
+			if _, isPad := dev.PadOfNode(n); isPad && i != len(path)-1 {
+				t.Fatalf("sink %d: pad node %d at position %d of %v — routed through an output pad", sink, n, i, path)
+			}
+		}
+	}
+	// The pad must still be part of the net's tree, so disjoint routing of
+	// later nets treats it as occupied.
+	found := false
+	for _, n := range routed[0].Tree {
+		if n == padNode {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pad sink missing from the routed tree")
+	}
+
+	// Whitebox: the pad must never have entered the expansion seed list —
+	// that is the mechanism by which the dead branch was built (the pad,
+	// grafted into the tree by the first sink, seeded the second sink's
+	// search and expanded through padFanout back into the array).
+	for _, n := range r.seedBuf {
+		if n >= dev.PadBase() {
+			t.Fatalf("pad node %d used as an expansion seed", n)
+		}
+	}
+}

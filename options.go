@@ -1,6 +1,7 @@
 package rlm
 
 import (
+	"repro/internal/bitstream"
 	"repro/internal/fabric"
 )
 
@@ -18,10 +19,12 @@ const (
 // config collects the construction parameters; it is only reachable through
 // the With* functional options.
 type config struct {
-	device     fabric.Preset
-	port       PortKind
-	clockHz    float64
-	appClockHz float64
+	device       fabric.Preset
+	port         PortKind
+	clockHz      float64
+	appClockHz   float64
+	serialCommit bool
+	portFactory  func(*bitstream.Controller) bitstream.Port
 }
 
 // Option configures a System at construction time.
@@ -47,4 +50,20 @@ func WithClock(hz float64) Option {
 // transport time into elapsed application cycles during relocation waits.
 func WithAppClock(hz float64) Option {
 	return func(c *config) { c.appClockHz = hz }
+}
+
+// WithSerialCommit disables the two-stage commit pipeline: every partial
+// bitstream is delivered synchronously before the next operation plans.
+// Configuration memory and cycle accounting are bit-identical either way
+// (the property the pipeline tests pin down); serial mode exists for that
+// comparison and for debugging.
+func WithSerialCommit() Option {
+	return func(c *config) { c.serialCommit = true }
+}
+
+// WithPortModel substitutes a custom configuration port built over the
+// system's controller — fault-injection harnesses wrap the stock ports this
+// way (e.g. a port that fails mid-stream to exercise rollback).
+func WithPortModel(factory func(*bitstream.Controller) bitstream.Port) Option {
+	return func(c *config) { c.portFactory = factory }
 }

@@ -125,6 +125,13 @@ func (p *Plan) Commit() error {
 		}
 		return nil
 	})
+	if execErr == nil {
+		// Harvest the pipelined shift-out before the commit is declared
+		// done: ops overlapped their planning with earlier ops' streams,
+		// and a transport failure anywhere in the plan fails the whole
+		// transaction.
+		execErr = s.engine.Tool.AwaitStream()
+	}
 	if execErr != nil {
 		s.restoreLocked(snap, execErr)
 		return execErr

@@ -77,8 +77,10 @@ func New(opts ...Option) (*System, error) {
 	dev := fabric.NewDevice(cfg.device)
 	ctrl := bitstream.NewController(dev)
 	var port bitstream.Port
-	switch cfg.port {
-	case SelectMAP:
+	switch {
+	case cfg.portFactory != nil:
+		port = cfg.portFactory(ctrl)
+	case cfg.port == SelectMAP:
 		hz := cfg.clockHz
 		if hz == 0 {
 			hz = 50e6
@@ -98,6 +100,7 @@ func New(opts ...Option) (*System, error) {
 	if cfg.appClockHz > 0 {
 		eng.AppClockHz = cfg.appClockHz
 	}
+	eng.Tool.Serial = cfg.serialCommit
 	return &System{
 		dev:     dev,
 		ctrl:    ctrl,
@@ -251,8 +254,15 @@ func (s *System) checkLoadLocked(nl *netlist.Netlist, region fabric.Rect) (fabri
 }
 
 // loadRaw performs the placement and book-keeping; the caller has validated
-// the load (region is concrete and free) and owns rollback.
+// the load (region is concrete and free) and owns rollback. Any in-flight
+// stream of an earlier operation drains first: placement shares the
+// configuration path with the relocation streams (the development tool of
+// the paper feeds the same port), and a pending transport failure must
+// surface before new work piles on top of it.
 func (s *System) loadRaw(nl *netlist.Netlist, region fabric.Rect) (*place.Design, error) {
+	if err := s.engine.Tool.AwaitStream(); err != nil {
+		return nil, err
+	}
 	d, err := place.Place(s.dev, nl, place.Options{
 		Region:      region,
 		ReservePads: s.pads, // Place reserves into this map directly
@@ -310,7 +320,14 @@ func (s *System) Unload(name string) error {
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
-	if err := s.unloadRaw(name); err != nil {
+	err = s.unloadRaw(name)
+	if err == nil {
+		// Harvest the batched stream before the checkpoint closes: a
+		// transport failure of the background shift-out belongs to this
+		// operation and must roll it back.
+		err = s.engine.Tool.AwaitStream()
+	}
+	if err != nil {
 		s.restoreLocked(snap, err)
 		return fmt.Errorf("rlm: unloading %q: %w", name, err)
 	}
@@ -416,7 +433,11 @@ func (s *System) moveLocked(name string, to fabric.Rect) error {
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
-	if err := s.moveRaw(name, to); err != nil {
+	err = s.moveRaw(name, to)
+	if err == nil {
+		err = s.engine.Tool.AwaitStream() // harvest before the checkpoint closes
+	}
+	if err != nil {
 		s.restoreLocked(snap, err)
 		return err
 	}
@@ -533,6 +554,10 @@ func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) erro
 			return err
 		}
 	}
+	if err := s.engine.Tool.AwaitStream(); err != nil {
+		s.restoreLocked(snap, err)
+		return err
+	}
 	return nil
 }
 
@@ -581,6 +606,9 @@ func clampStep(d, max int) int {
 func (s *System) Recover() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.engine.Tool.AwaitStream(); err != nil {
+		return err
+	}
 	words := s.engine.Tool.Shadow().RecoveryBitstream()
 	if err := s.ctrl.Feed(words...); err != nil {
 		return err
