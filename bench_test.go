@@ -356,6 +356,54 @@ func BenchmarkFig7Defrag(b *testing.B) {
 	}
 }
 
+// --- Scenario diversity: fabric-vs-book-keeping divergence ------------------
+
+// BenchmarkSchedFabricDivergence runs the named scenario matrix — profiled
+// task streams whose netlists are sized to their allocated regions — on a
+// live System against the pure book-keeping twin, and reports where fabric
+// reality diverges from the model. The measured loop runs the ram-heavy
+// scenario (the largest divergence: immovable RAM cells pin their columns,
+// so the fabric refuses rearrangements the grid model books as feasible);
+// the divergence figures ride through benchdiff as informational columns.
+func BenchmarkSchedFabricDivergence(b *testing.B) {
+	const tasks = 30
+	matrix := sched.ScenarioMatrix(1, tasks, 1.0)
+	runScenario := func(name string) sched.Divergence {
+		sc, ok := sched.ScenarioByName(matrix, name)
+		if !ok {
+			b.Fatalf("unknown scenario %q", name)
+		}
+		sys, err := New(WithDevice(fabric.XCV50), WithPort(BoundaryScan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sched.RunScenario(sc, NewFabricSpace(sys, false))
+	}
+	once("divergence", func() {
+		fmt.Println("\nScenario divergence — live fabric vs book-keeping, XCV50:")
+		fmt.Printf("%-16s %-11s %-11s %-10s %-9s %-10s\n",
+			"scenario", "alloc-book", "alloc-fab", "phys-fail", "clb-gap", "reloc-s-fab")
+		for _, sc := range matrix {
+			d := runScenario(sc.Name)
+			fmt.Printf("%-16s %-11.3f %-11.3f %-10d %-9d %-10.2f\n",
+				d.Scenario, d.Book.AllocationRate, d.Fabric.AllocationRate,
+				d.PhysicalPlaceFailures, d.RelocatedCLBGap, d.Fabric.RearrangeSeconds)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last sched.Divergence
+	for i := 0; i < b.N; i++ {
+		last = runScenario("ram-heavy")
+		if last.Fabric.Submitted != tasks {
+			b.Fatalf("scenario did not run: %+v", last.Fabric)
+		}
+	}
+	b.ReportMetric(last.AllocationGap, "alloc_gap")
+	b.ReportMetric(float64(last.PhysicalPlaceFailures), "phys_fail")
+	b.ReportMetric(float64(last.RelocatedCLBGap), "clb_gap")
+}
+
 // --- Host-side O(change): unload and checkpoint costs ----------------------
 
 // BenchmarkUnload measures decommissioning one design through the

@@ -1,129 +1,19 @@
 package main
 
 import (
-	"fmt"
-
 	rlm "repro"
-	"repro/internal/area"
 	"repro/internal/fabric"
-	"repro/internal/itc99"
-	"repro/internal/rearrange"
-	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
-// fabricSpace backs the scheduler with a live rlm.System: every placed task
-// is a real generated design loaded, routed and run on the simulated
-// fabric, and every rearrangement physically relocates running designs
-// through the configuration port. With verify set, all resident designs run
-// in lock-step against their golden models for every application clock
-// cycle that elapses during a relocation — the paper's transparency claim
-// checked under the whole workload.
-type fabricSpace struct {
-	sys    *rlm.System
-	group  *sim.Group
-	verify bool
-	seq    int
-	names  map[int]string // allocation id -> design name
-	rng    uint64
-}
-
-func newFabricSpace(preset fabric.Preset, verify bool) (*fabricSpace, error) {
+// newFabricSpace builds a live System on the given device preset and wraps
+// it as a sched.Space (see rlm.FabricSpace): every placed task is a real
+// profile-shaped design sized to its allocated region, every rearrangement
+// a physical relocation through the configuration port, with optional
+// lock-step verification of all resident designs.
+func newFabricSpace(preset fabric.Preset, verify bool) (*rlm.FabricSpace, error) {
 	sys, err := rlm.New(rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan))
 	if err != nil {
 		return nil, err
 	}
-	f := &fabricSpace{sys: sys, verify: verify, names: map[int]string{}, rng: 0x5EED}
-	if verify {
-		f.group = sim.NewGroup(sys.Device())
-		sys.Engine().Clock = f.step
-	}
-	return f, nil
-}
-
-func (f *fabricSpace) Manager() *area.Manager { return f.sys.Area() }
-
-// Place loads a generated design sized for the task's footprint.
-func (f *fabricSpace) Place(t workload.Task, rect fabric.Rect) (int, error) {
-	f.seq++
-	name := fmt.Sprintf("t%04d", f.seq)
-	nl := itc99.Generate(itc99.GenConfig{
-		Name: name, Inputs: 2, Outputs: 2,
-		FFs: 4, LUTs: t.H + t.W,
-		Seed: uint64(f.seq), Style: itc99.FreeRunning,
-	})
-	d, err := f.sys.Load(nl, rect)
-	if err != nil {
-		return 0, err
-	}
-	id, ok := f.sys.Allocation(name)
-	if !ok {
-		return 0, fmt.Errorf("schedsim: %s loaded but not allocated", name)
-	}
-	if f.verify {
-		if _, err := f.group.Add(d); err != nil {
-			_ = f.sys.Unload(name)
-			return 0, err
-		}
-	}
-	f.names[id] = name
-	return id, nil
-}
-
-func (f *fabricSpace) Remove(id int) error {
-	name, ok := f.names[id]
-	if !ok {
-		return fmt.Errorf("schedsim: unknown allocation %d", id)
-	}
-	// Unload first: if it fails and rolls back, the design is still
-	// resident and must stay under lock-step verification.
-	if err := f.sys.Unload(name); err != nil {
-		return err
-	}
-	if f.verify {
-		kept := f.group.Members[:0]
-		for _, m := range f.group.Members {
-			if m.Design.Name != name {
-				kept = append(kept, m)
-			}
-		}
-		f.group.Members = kept
-	}
-	delete(f.names, id)
-	return nil
-}
-
-// Rearrange executes the planner's book-keeping moves for real: each step
-// relocates a live design CLB by CLB while it runs.
-func (f *fabricSpace) Rearrange(p *rearrange.Plan) error {
-	for _, st := range p.Steps {
-		name, ok := f.names[st.ID]
-		if !ok {
-			return fmt.Errorf("schedsim: allocation %d backs no design", st.ID)
-		}
-		if err := f.sys.Move(name, st.To); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// step advances every resident design one application clock cycle with
-// fresh random inputs, checking each against its golden model.
-func (f *fabricSpace) step(cycles int) error {
-	for i := 0; i < cycles; i++ {
-		inputs := make([][]bool, len(f.group.Members))
-		for k, m := range f.group.Members {
-			in := make([]bool, len(m.Design.NL.Inputs()))
-			for j := range in {
-				f.rng = f.rng*6364136223846793005 + 1442695040888963407
-				in[j] = f.rng>>40&1 == 1
-			}
-			inputs[k] = in
-		}
-		if err := f.group.Step(inputs); err != nil {
-			return err
-		}
-	}
-	return nil
+	return rlm.NewFabricSpace(sys, verify), nil
 }

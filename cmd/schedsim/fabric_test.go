@@ -40,14 +40,14 @@ func TestFabricSpaceWorkload(t *testing.T) {
 			placed, m.Rejected, m.Submitted)
 	}
 	// All departures happened: the device is clean again.
-	if got := len(space.sys.Designs()); got != 0 {
+	if got := len(space.System().Designs()); got != 0 {
 		t.Errorf("%d designs still resident", got)
 	}
-	if free := space.sys.Area().FreeCLBs(); free != 16*24 {
+	if free := space.System().Area().FreeCLBs(); free != 16*24 {
 		t.Errorf("area not fully freed: %d", free)
 	}
 	// Real frames were streamed for the loads.
-	if space.sys.Stats().FramesWritten == 0 && space.sys.Port().Elapsed() == 0 {
+	if space.System().Stats().FramesWritten == 0 && space.System().Port().Elapsed() == 0 {
 		t.Error("no configuration traffic reached the fabric")
 	}
 }

@@ -9,11 +9,21 @@
 // physical relocation through the configuration port, with all resident
 // designs verified in lock-step against their golden models throughout.
 //
+// The scenarios experiment runs the named scenario matrix (small / large /
+// bimodal / gated-heavy / ram-heavy / corner-pressure): each scenario's
+// task stream — with per-task design profiles and netlists sized to the
+// allocated region — is executed on a live fabric AND on the pure
+// book-keeping model, and the divergence between the two (physical
+// placement failures, allocation and fragmentation gaps, relocation work)
+// is reported per scenario.
+//
 // Usage:
 //
 //	schedsim -experiment fig1
 //	schedsim -experiment defrag -rows 28 -cols 42 -tasks 500
 //	schedsim -experiment defrag -fabric -device XCV50 -tasks 40 -events
+//	schedsim -experiment scenarios -device XCV50 -tasks 30
+//	schedsim -experiment scenarios -scenario ram-heavy -verify=false
 package main
 
 import (
@@ -32,7 +42,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "defrag", "fig1 | defrag | policies")
+		experiment = flag.String("experiment", "defrag", "fig1 | defrag | policies | scenarios")
 		rows       = flag.Int("rows", 28, "device rows (XCV200 = 28)")
 		cols       = flag.Int("cols", 42, "device columns (XCV200 = 42)")
 		tasks      = flag.Int("tasks", 0, "number of tasks (defrag; 0 = 400 book-keeping, 40 fabric)")
@@ -42,12 +52,23 @@ func main() {
 		deviceName = flag.String("device", "XCV50", "device preset for -fabric: TEST12x8, XCV50, XCV200, XCV800")
 		verify     = flag.Bool("verify", true, "lock-step verify resident designs during relocations (-fabric)")
 		events     = flag.Bool("events", false, "print the system's event stream (-fabric)")
+		scenario   = flag.String("scenario", "", "run only the named scenario of the matrix (scenarios)")
 	)
 	flag.Parse()
 
 	switch *experiment {
 	case "fig1":
 		fig1(*rows, *cols, *seed)
+	case "scenarios":
+		if *tasks == 0 {
+			*tasks = 30
+		}
+		preset, ok := fabric.PresetByName(*deviceName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
+			os.Exit(2)
+		}
+		scenarios(preset, *tasks, *seed, *load, *verify, *scenario)
 	case "defrag":
 		if *tasks == 0 {
 			*tasks = 400
@@ -155,7 +176,7 @@ func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, ve
 		var cancel func()
 		if events {
 			var ch <-chan rlm.Event
-			ch, cancel = space.sys.Subscribe(1024)
+			ch, cancel = space.System().Subscribe(1024)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -170,14 +191,49 @@ func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, ve
 		}, space)
 		m := s.Run(stream)
 		printMetrics(planner, m)
-		st := space.sys.Stats()
+		st := space.System().Stats()
 		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic, %d designs resident at end\n",
 			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
-			space.sys.Port().Name(), len(space.sys.Designs()))
+			space.System().Port().Name(), len(space.System().Designs()))
 		if events {
 			cancel()
 			wg.Wait()
 		}
+	}
+}
+
+// scenarios runs the named scenario matrix: each scenario's profiled task
+// stream is executed on a live fabric and on the pure book-keeping model,
+// and the divergence between the two runs is reported per scenario.
+func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verify bool, only string) {
+	matrix := sched.ScenarioMatrix(seed, tasks, load)
+	if only != "" {
+		sc, ok := sched.ScenarioByName(matrix, only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedsim: unknown scenario %q\n", only)
+			os.Exit(2)
+		}
+		matrix = []sched.Scenario{sc}
+	}
+	fmt.Printf("Scenario-divergence study — %s (%dx%d CLBs), %d tasks/scenario, load %.2f/s, verify=%v\n",
+		preset.Name, preset.Rows, preset.Cols, tasks, load, verify)
+	fmt.Printf("%-16s %-11s %-11s %-9s %-9s %-10s %-10s %-10s\n",
+		"scenario", "alloc-book", "alloc-fab", "rej-gap", "frag-gap", "phys-fail", "clb-gap", "reloc-s")
+	for _, sc := range matrix {
+		space, err := newFabricSpace(preset, verify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		d := sched.RunScenario(sc, space)
+		fmt.Printf("%-16s %-11.3f %-11.3f %-9.3f %-9.3f %-10d %-10d %-10.2f\n",
+			d.Scenario, d.Book.AllocationRate, d.Fabric.AllocationRate,
+			d.RejectionGap, d.FragmentationGap, d.PhysicalPlaceFailures,
+			d.RelocatedCLBGap, d.Fabric.RearrangeSeconds)
+		st := space.System().Stats()
+		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic — %s\n",
+			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
+			space.System().Port().Name(), sc.Desc)
 	}
 }
 

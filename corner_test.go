@@ -1,0 +1,145 @@
+package rlm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+)
+
+// TestNWCornerBoxInKnownLimitation pins the ROADMAP's "West-edge routing
+// congestion" limitation: a design placed at the NW corner with dense
+// neighbours to its east and south-east cannot be relocated out — its
+// pad-entry nets (all input pads bind to the west edge from position 0)
+// plus the neighbours' routing box the replica connections in, and the
+// relocation fails with a routing error and rolls back. An identical
+// design placed in the interior relocates fine, and best-effort
+// Defragment falls back cleanly (skips what it cannot slide) instead of
+// failing the pass.
+//
+// This is a KNOWN LIMITATION, not desired behaviour: when a future PR
+// improves the router or the pad binding (e.g. spreading input pads near
+// the design's region), the "corner" case below is the one expectation to
+// flip — see ROADMAP "West-edge routing congestion".
+func TestNWCornerBoxInKnownLimitation(t *testing.T) {
+	load := func(sys *System, name string, seed uint64, ffs, luts int, rect fabric.Rect) error {
+		nl := itc99.Generate(itc99.GenConfig{
+			Name: name, Inputs: 4, Outputs: 4, FFs: ffs, LUTs: luts, Seed: seed,
+			Style: itc99.GatedClock, CEFraction: 0.75,
+		})
+		_, err := sys.Load(nl, rect)
+		return err
+	}
+	// boxIn loads the two dense neighbours that wall the NW corner off.
+	boxIn := func(t *testing.T, sys *System) {
+		t.Helper()
+		if err := load(sys, "east", 8, 18, 36, fabric.Rect{Row: 0, Col: 3, H: 3, W: 5}); err != nil {
+			t.Fatalf("loading east neighbour: %v", err)
+		}
+		if err := load(sys, "diag", 10, 18, 36, fabric.Rect{Row: 3, Col: 3, H: 5, W: 5}); err != nil {
+			t.Fatalf("loading diagonal neighbour: %v", err)
+		}
+	}
+
+	cases := []struct {
+		name     string
+		at       fabric.Rect
+		wantMove bool // whether Move out of the region must succeed
+	}{
+		// The corner case asserts the CURRENT limitation; flip wantMove to
+		// true when the router/pad-binding PR lands.
+		{name: "corner", at: fabric.Rect{Row: 0, Col: 0, H: 3, W: 3}, wantMove: false},
+		{name: "interior", at: fabric.Rect{Row: 10, Col: 8, H: 3, W: 3}, wantMove: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := load(sys, tc.name, 7, 12, 24, tc.at); err != nil {
+				t.Fatalf("loading %s design: %v", tc.name, err)
+			}
+			boxIn(t, sys)
+			target := fabric.Rect{Row: 12, Col: 18, H: 3, W: 3}
+			err = sys.Move(tc.name, target)
+			if tc.wantMove {
+				if err != nil {
+					t.Fatalf("interior design failed to relocate: %v", err)
+				}
+				if r, _ := sys.Region(tc.name); r != target {
+					t.Fatalf("moved design at %v, want %v", r, target)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("NW-corner design relocated — the west-edge box-in limitation " +
+					"has been fixed; update this test and the ROADMAP item")
+			}
+			// The failure must be a routing failure rolled back cleanly: the
+			// design keeps its region and every design stays resident.
+			if r, _ := sys.Region(tc.name); r != tc.at {
+				t.Errorf("after failed move the design sits at %v, want %v", r, tc.at)
+			}
+			if got := len(sys.Designs()); got != 3 {
+				t.Errorf("%d designs resident after rollback, want 3", got)
+			}
+			// Best-effort defragmentation must fall back (skip the boxed-in
+			// design) rather than fail the pass.
+			rep, err := sys.Defragment(DefragPolicy{})
+			if err != nil {
+				t.Fatalf("best-effort Defragment did not fall back: %v", err)
+			}
+			for _, mv := range rep.Moves {
+				if mv.Design == tc.name {
+					t.Errorf("defragment moved the boxed-in corner design: %+v", mv)
+				}
+			}
+			if r, _ := sys.Region(tc.name); r != tc.at {
+				t.Errorf("defragment displaced the corner design to %v", r)
+			}
+		})
+	}
+}
+
+// TestWestPadExhaustionUnderLoad pins the second half of the ROADMAP item:
+// input pads all bind to the west edge from position 0, so under load the
+// pad pool exhausts long before the logic space does — placements then
+// fail physically even though the book-keeping grid still has room. The
+// future pad-binding PR (spread pads near the design's region, use all
+// four edges) flips this expectation.
+func TestWestPadExhaustionUnderLoad(t *testing.T) {
+	sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// XCV50: 16 rows x 2 pads per west edge tile = 32 input pads. Designs
+	// with 6 inputs each exhaust the pool after 5 loads.
+	var padErr error
+	loaded := 0
+	for i := 0; ; i++ {
+		nl := itc99.Generate(itc99.GenConfig{
+			Name: fmt.Sprintf("d%d", i), Inputs: 6, Outputs: 2, FFs: 6, LUTs: 10,
+			Seed: uint64(30 + i), Style: itc99.FreeRunning,
+		})
+		if _, err := sys.Load(nl, fabric.Rect{}); err != nil {
+			padErr = err
+			break
+		}
+		loaded++
+		if loaded > 10 {
+			t.Fatal("west pad pool never exhausted — pad binding improved; " +
+				"update this test and the ROADMAP item")
+		}
+	}
+	if padErr == nil {
+		t.Fatal("loads kept succeeding — pad binding improved; " +
+			"update this test and the ROADMAP item")
+	}
+	if errors.Is(padErr, ErrNoSpace) || sys.Area().Utilisation() > 0.5 {
+		t.Skipf("logic space was the binding constraint (%v, util %.2f) — "+
+			"pads no longer exhaust first", padErr, sys.Area().Utilisation())
+	}
+}

@@ -1,0 +1,145 @@
+package rlm
+
+import (
+	"fmt"
+
+	"repro/internal/area"
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/rearrange"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FabricSpace backs the scheduling simulator with a live System: every
+// placed task is a real generated design — sized to the task's allocated
+// region and shaped by its workload profile (free-running or gated-clock
+// style, distributed-RAM usage, I/O counts) — loaded, routed and run on
+// the simulated fabric, and every rearrangement physically relocates
+// running designs through the configuration port. With verify set, all
+// resident designs run in lock-step against their golden models for every
+// application clock cycle that elapses during a relocation — the paper's
+// transparency claim checked under the whole workload.
+type FabricSpace struct {
+	sys    *System
+	group  *sim.Group
+	verify bool
+	seq    int
+	names  map[int]string // allocation id -> design name
+	rng    uint64
+}
+
+var _ sched.Space = (*FabricSpace)(nil)
+
+// NewFabricSpace wraps a System as a sched.Space. With verify set it hooks
+// the engine's application clock so every cycle that elapses during a
+// relocation steps all resident designs against their golden models.
+func NewFabricSpace(sys *System, verify bool) *FabricSpace {
+	f := &FabricSpace{sys: sys, verify: verify, names: map[int]string{}, rng: 0x5EED}
+	if verify {
+		f.group = sim.NewGroup(sys.Device())
+		sys.Engine().Clock = f.step
+	}
+	return f
+}
+
+// System returns the live system behind the space (stats, events, port).
+func (f *FabricSpace) System() *System { return f.sys }
+
+// Group returns the lock-step verification group (nil unless verify was
+// set): every resident design paired with its golden model.
+func (f *FabricSpace) Group() *sim.Group { return f.group }
+
+// Manager exposes the system's area book-keeping.
+func (f *FabricSpace) Manager() *area.Manager { return f.sys.Area() }
+
+// Place loads a generated design shaped by the task's profile and sized to
+// the allocated rect: the profile's fill factor targets a fraction of the
+// region's logic cells, so a 10x10 task really carries ~100+ nodes of
+// logic, not a token fixed-shape netlist.
+func (f *FabricSpace) Place(t workload.Task, rect fabric.Rect) (int, error) {
+	f.seq++
+	name := fmt.Sprintf("t%04d", f.seq)
+	nl := itc99.Generate(t.GenConfig(name, rect.Area()*fabric.CellsPerCLB))
+	d, err := f.sys.Load(nl, rect)
+	if err != nil {
+		return 0, err
+	}
+	id, ok := f.sys.Allocation(name)
+	if !ok {
+		return 0, fmt.Errorf("rlm: %s loaded but not allocated", name)
+	}
+	if f.verify {
+		if _, err := f.group.Add(d); err != nil {
+			_ = f.sys.Unload(name)
+			return 0, err
+		}
+	}
+	f.names[id] = name
+	return id, nil
+}
+
+// Remove unloads a placed task's design.
+func (f *FabricSpace) Remove(id int) error {
+	name, ok := f.names[id]
+	if !ok {
+		return fmt.Errorf("rlm: unknown allocation %d", id)
+	}
+	// Unload first: if it fails and rolls back, the design is still
+	// resident and must stay under lock-step verification.
+	if err := f.sys.Unload(name); err != nil {
+		return err
+	}
+	if f.verify {
+		kept := f.group.Members[:0]
+		for _, m := range f.group.Members {
+			if m.Design.Name != name {
+				kept = append(kept, m)
+			}
+		}
+		f.group.Members = kept
+	}
+	delete(f.names, id)
+	return nil
+}
+
+// Rearrange executes the planner's book-keeping moves for real: each step
+// relocates a live design CLB by CLB while it runs. It reports the CLB
+// area of the steps that completed — a mid-plan failure (a RAM column, a
+// boxed-in route) leaves the earlier relocations committed, and that work
+// was really paid for through the configuration port.
+func (f *FabricSpace) Rearrange(p *rearrange.Plan) (int, error) {
+	moved := 0
+	for _, st := range p.Steps {
+		name, ok := f.names[st.ID]
+		if !ok {
+			return moved, fmt.Errorf("rlm: allocation %d backs no design", st.ID)
+		}
+		if err := f.sys.Move(name, st.To); err != nil {
+			return moved, err
+		}
+		moved += st.From.Area()
+	}
+	return moved, nil
+}
+
+// step advances every resident design one application clock cycle with
+// fresh random inputs, checking each against its golden model.
+func (f *FabricSpace) step(cycles int) error {
+	for i := 0; i < cycles; i++ {
+		inputs := make([][]bool, len(f.group.Members))
+		for k, m := range f.group.Members {
+			in := make([]bool, len(m.Design.NL.Inputs()))
+			for j := range in {
+				f.rng = f.rng*6364136223846793005 + 1442695040888963407
+				in[j] = f.rng>>40&1 == 1
+			}
+			inputs[k] = in
+		}
+		if err := f.group.Step(inputs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

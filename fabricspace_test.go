@@ -1,0 +1,175 @@
+package rlm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/relocate"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestFabricSpaceLockStepAcrossRelocation extends the gated-clock
+// coverage of TestPlaceGatedClockDesign to scenario-generated designs:
+// with verify on, a gated-clock profile task and a RAM profile task are
+// placed as real region-sized designs, the gated design is physically
+// relocated while both keep running, and every application clock cycle
+// that elapses during the relocation is checked bit-identical against the
+// golden models. The RAM design must refuse relocation (the engine's
+// LUT/RAM rule) without disturbing the residents.
+func TestFabricSpaceLockStepAcrossRelocation(t *testing.T) {
+	sys, err := New(WithDevice(fabric.XCV50), WithPort(BoundaryScan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := NewFabricSpace(sys, true)
+
+	gated := workload.Task{
+		ID: 1, H: 4, W: 4,
+		Profile: workload.Profile{
+			Style: itc99.GatedClock, CEFraction: 0.75, FillFactor: 0.35,
+			Inputs: 3, Outputs: 3, Seed: 77,
+		},
+	}
+	ram := workload.Task{
+		ID: 2, H: 3, W: 3,
+		Profile: workload.Profile{
+			Style: itc99.FreeRunning, FillFactor: 0.30, RAMs: 2,
+			Inputs: 2, Outputs: 2, Seed: 78,
+		},
+	}
+	gid, err := space.Place(gated, fabric.Rect{Row: 2, Col: 2, H: 4, W: 4})
+	if err != nil {
+		t.Fatalf("placing gated task: %v", err)
+	}
+	// The RAM design sits in columns disjoint from the gated design's
+	// source and target columns: any relocation whose frames touch a
+	// RAM column is refused outright (the ErrRAMInColumn rule).
+	rid, err := space.Place(ram, fabric.Rect{Row: 12, Col: 20, H: 3, W: 3})
+	if err != nil {
+		t.Fatalf("placing RAM task: %v", err)
+	}
+	// The generated designs really carry the profiled structure.
+	gd, ok := sys.Design("t0001")
+	if !ok {
+		t.Fatal("gated design not resident")
+	}
+	if st := gd.NL.Stats(); st.FFs < 2 || st.LUTs < 2 {
+		t.Fatalf("gated design too small: %v", st)
+	}
+	rd, ok := sys.Design("t0002")
+	if !ok {
+		t.Fatal("RAM design not resident")
+	}
+	if st := rd.NL.Stats(); st.RAMs != 2 {
+		t.Fatalf("RAM design has %d RAMs, want 2", st.RAMs)
+	}
+
+	// Warm the residents up: a freshly configured FF reads Z until its
+	// first clock edge, so run a few verified cycles before comparing
+	// fabric state against the golden models.
+	if err := space.step(4); err != nil {
+		t.Fatalf("warm-up cycles diverged: %v", err)
+	}
+
+	// The RAM design cannot be relocated on-line at all — either the moved
+	// cell is itself a LUT/RAM (ErrRAMRelocation) or the relocation's
+	// frames touch a column holding one (ErrRAMInColumn) — and the refusal
+	// must leave both residents bit-identical to their golden models.
+	err = sys.Move("t0002", fabric.Rect{Row: 2, Col: 14, H: 3, W: 3})
+	if !errors.Is(err, relocate.ErrRAMRelocation) && !errors.Is(err, relocate.ErrRAMInColumn) {
+		t.Fatalf("moving the RAM design: err = %v, want a RAM-relocation refusal", err)
+	}
+	if err := space.Group().CheckState(); err != nil {
+		t.Fatalf("state mismatch after refused RAM move: %v", err)
+	}
+
+	// Once the RAM task departs, the gated design can relocate: while its
+	// columns hold RAM, ANY relocation whose frames or rerouted nets touch
+	// them is refused (that is the divergence the ram-heavy scenario
+	// measures), so the departure is what frees the fabric again.
+	if err := space.Remove(rid); err != nil {
+		t.Fatalf("removing RAM task: %v", err)
+	}
+	if got := len(space.Group().Members); got != 1 {
+		t.Fatalf("verify group has %d members after removal, want 1", got)
+	}
+
+	// Relocate the gated design across the device while it runs. The
+	// engine's clock hook steps every resident design in lock-step against
+	// its golden model for each application cycle of the relocation
+	// interval; any divergence fails the move.
+	if err := sys.Move("t0001", fabric.Rect{Row: 10, Col: 8, H: 4, W: 4}); err != nil {
+		t.Fatalf("relocating gated design under lock-step verify: %v", err)
+	}
+	if sys.Stats().CellsRelocated == 0 {
+		t.Fatal("no cells were physically relocated")
+	}
+	if sys.Stats().ClockCycles == 0 {
+		t.Fatal("no application cycles elapsed during the relocation — " +
+			"lock-step verification never ran")
+	}
+	// And the resident still matches its golden state bit for bit.
+	if err := space.Group().CheckState(); err != nil {
+		t.Fatalf("state mismatch after relocation: %v", err)
+	}
+
+	// Departures unload cleanly and leave the verify group consistent.
+	if err := space.Remove(gid); err != nil {
+		t.Fatalf("removing gated task: %v", err)
+	}
+	if got := len(space.Group().Members); got != 0 {
+		t.Fatalf("verify group has %d members after removal, want 0", got)
+	}
+}
+
+// TestScenarioMatrixDivergence is the short-mode scenario-matrix lane:
+// every named scenario runs its profiled stream on a live fabric with
+// lock-step verification on, against the book-keeping twin, and the
+// divergence report must stay internally consistent. Under -race this is
+// the acceptance gate for the whole scenario subsystem.
+func TestScenarioMatrixDivergence(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 6
+	}
+	physFailures := 0
+	for _, sc := range sched.ScenarioMatrix(1, n, 1.0) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			sys, err := New(WithDevice(fabric.XCV50), WithPort(BoundaryScan))
+			if err != nil {
+				t.Fatal(err)
+			}
+			space := NewFabricSpace(sys, true)
+			d := sched.RunScenario(sc, space)
+			if d.Scenario != sc.Name {
+				t.Errorf("report names scenario %q", d.Scenario)
+			}
+			for side, m := range map[string]sched.Metrics{"book": d.Book, "fabric": d.Fabric} {
+				placed := m.Placed + m.PlacedAfterRearrange + m.PlacedAfterWait
+				if m.Submitted != n || placed+m.Rejected != m.Submitted {
+					t.Errorf("%s accounting broken: %+v", side, m)
+				}
+			}
+			if d.Book.PhysicalPlaceFailures != 0 {
+				t.Errorf("book-keeping run reported physical failures: %+v", d.Book)
+			}
+			if got := d.Book.AllocationRate - d.Fabric.AllocationRate; got != d.AllocationGap {
+				t.Errorf("AllocationGap %f inconsistent with metrics (%f)", d.AllocationGap, got)
+			}
+			// Everything placed on the fabric departed again (minus removals
+			// that failed and rolled back, which stay resident by design).
+			if got := len(sys.Designs()); got != d.Fabric.FailedRemovals {
+				t.Errorf("%d designs resident at end, want %d", got, d.Fabric.FailedRemovals)
+			}
+			physFailures += d.PhysicalPlaceFailures
+		})
+	}
+	if !testing.Short() && physFailures == 0 {
+		t.Error("no scenario diverged physically — the matrix no longer exercises " +
+			"fabric reality (RAM columns, pad pressure); re-tune the scenarios")
+	}
+}

@@ -70,6 +70,53 @@ type GenConfig struct {
 	RAMs int
 }
 
+// SizedTo derives the LUT/FF/RAM counts of a generated circuit from the
+// logic-cell capacity of the region it will occupy and a fill-factor
+// target, replacing any counts already set. The node total is capped at
+// the capacity itself: a packed cell holds at least one LUT/RAM/FF node,
+// so LUTs+FFs+RAMs <= capacity guarantees the circuit fits its region
+// regardless of how LUT/FF packing falls out. RAMs are taken from the
+// configured count but never crowd out the sequential core.
+func (cfg GenConfig) SizedTo(capacityCells int, fill float64) GenConfig {
+	if fill <= 0 {
+		fill = 0.35
+	}
+	if fill > 1 {
+		fill = 1
+	}
+	total := int(fill * float64(capacityCells))
+	// Floor: the generator needs a non-empty cloud and some state to be a
+	// relocation workload at all (2 LUTs + 2 FFs). A 1x1-CLB region holds
+	// 4 cells, so the floor never exceeds the smallest possible capacity.
+	if total < 4 {
+		total = 4
+	}
+	if total > capacityCells && capacityCells >= 4 {
+		total = capacityCells
+	}
+	rams := cfg.RAMs
+	if max := total / 4; rams > max {
+		rams = max
+	}
+	ffs := (total - rams) / 3
+	if ffs < 2 {
+		ffs = 2
+	}
+	luts := total - rams - ffs
+	if luts < 2 {
+		// Not enough room after the floors: shrink state, then RAM.
+		luts = 2
+		if ffs = total - rams - luts; ffs < 2 {
+			ffs = 2
+			if rams = total - luts - ffs; rams < 0 {
+				rams = 0
+			}
+		}
+	}
+	cfg.FFs, cfg.LUTs, cfg.RAMs = ffs, luts, rams
+	return cfg
+}
+
 // Generate builds a deterministic sequential circuit. The structure is an
 // FSM-like cloud: a combinational LUT network over the primary inputs and
 // state outputs feeds the next-state and output logic.

@@ -224,3 +224,44 @@ func TestSortedByFFs(t *testing.T) {
 		t.Fatal("missing specs")
 	}
 }
+
+func TestSizedToRespectsCapacity(t *testing.T) {
+	// The node total must never exceed the region's cell capacity — that
+	// is the bound that guarantees a sized circuit places regardless of
+	// LUT/FF packing — and the generator floors (2 LUTs, 2 FFs) must hold.
+	for _, tc := range []struct {
+		capacity int
+		fill     float64
+		rams     int
+	}{
+		{4, 0.5, 0},  // smallest region: 1x1 CLB
+		{4, 0.9, 3},  // RAMs must be dropped to respect capacity 4
+		{16, 0, 0},   // fill 0 -> default
+		{16, 0.3, 2}, // RAM task in a 2x2 region
+		{400, 0.4, 2},
+		{400, 5.0, 0}, // fill clamps to 1
+	} {
+		cfg := GenConfig{Name: "s", Inputs: 2, Outputs: 2, RAMs: tc.rams, Seed: 9}
+		sized := cfg.SizedTo(tc.capacity, tc.fill)
+		total := sized.LUTs + sized.FFs + sized.RAMs
+		if total > tc.capacity {
+			t.Errorf("SizedTo(%d, %.2f, rams=%d): %d nodes exceed capacity (%+v)",
+				tc.capacity, tc.fill, tc.rams, total, sized)
+		}
+		if sized.LUTs < 2 || sized.FFs < 2 {
+			t.Errorf("SizedTo(%d, %.2f): below generator floor: %+v", tc.capacity, tc.fill, sized)
+		}
+		if sized.RAMs > tc.rams {
+			t.Errorf("SizedTo invented RAMs: %+v", sized)
+		}
+		// And the sized config actually generates a valid netlist whose
+		// conservative footprint matches the arithmetic.
+		nl := Generate(sized)
+		if err := nl.Validate(); err != nil {
+			t.Errorf("SizedTo(%d, %.2f): invalid netlist: %v", tc.capacity, tc.fill, err)
+		}
+		if got := nl.Stats().CellUpperBound(); got > tc.capacity {
+			t.Errorf("SizedTo(%d, %.2f): %d cells exceed capacity", tc.capacity, tc.fill, got)
+		}
+	}
+}

@@ -205,6 +205,15 @@ func (s Stats) String() string {
 		s.Inputs, s.Outputs, s.LUTs, s.FFs, s.Latches, s.Consts, s.RAMs)
 }
 
+// CellUpperBound is a conservative count of the logic cells the netlist
+// occupies once mapped: every LUT/const/RAM takes a cell's function
+// generator and every FF/latch a storage element; LUT/FF packing can only
+// reduce the count. Generators size circuits so this bound fits the target
+// region, guaranteeing placement succeeds regardless of packing.
+func (s Stats) CellUpperBound() int {
+	return s.LUTs + s.Consts + s.RAMs + s.FFs + s.Latches
+}
+
 // refs lists every node id a node reads combinationally (its fanin through
 // which values must be settled before it can be evaluated).
 func (nd *Node) refs() []ID {

@@ -1,0 +1,147 @@
+// Scenario matrix and fabric-vs-book-keeping divergence harness.
+//
+// A Scenario bundles a named workload shape (task sizes, gated-clock and
+// RAM fractions, fill factors) with the scheduling knobs it is meant to
+// stress. CompareSpaces runs one task stream through the pure book-keeping
+// Space and through a caller-supplied Space (typically fabric-backed) in
+// lock-step — same stream, same policy, same planner — and reports where
+// physical reality diverges from the book-keeping model: placements the
+// grid accepted but the fabric refused, the allocation-rate and
+// fragmentation gaps that follow, and the relocation work each side paid.
+package sched
+
+import (
+	"repro/internal/area"
+	"repro/internal/rearrange"
+	"repro/internal/workload"
+)
+
+// Scenario is one named workload/scheduling configuration of the study.
+type Scenario struct {
+	Name string
+	Desc string
+	// Workload shapes the task stream. Seed and N are filled in by
+	// ScenarioMatrix from its arguments.
+	Workload workload.Config
+	Policy   area.Policy
+	Planner  rearrange.Planner
+	MaxWait  float64
+}
+
+// Config builds the simulator configuration for running the scenario on an
+// explicit Space.
+func (sc Scenario) Config() Config {
+	return Config{Policy: sc.Policy, Planner: sc.Planner, MaxWait: sc.MaxWait}
+}
+
+// ScenarioMatrix returns the named scenarios of the diversity study, each
+// with n tasks from the given seed at the given arrival rate. The matrix
+// spans the axes the paper's run-time manager exists to handle: task
+// granularity (small/large/bimodal), relocation difficulty (gated-clock
+// cells need the auxiliary-circuit flow, RAM cells cannot move at all) and
+// spatial pressure (bottom-left packing keeps the NW corner — the fabric's
+// hardest region — permanently hot).
+func ScenarioMatrix(seed uint64, n int, load float64) []Scenario {
+	base := workload.Config{
+		Seed: seed, N: n,
+		MeanInterarrival: 1.0 / load, MeanService: 6.0,
+		GatedFraction: 0.25, RAMFraction: 0.0,
+	}
+	mk := func(name, desc string, f func(*workload.Config)) Scenario {
+		w := base
+		f(&w)
+		return Scenario{
+			Name: name, Desc: desc, Workload: w,
+			Policy: area.FirstFit, Planner: rearrange.LocalRepacking{}, MaxWait: 20,
+		}
+	}
+	matrix := []Scenario{
+		mk("small", "many small tasks, uniform 2..4", func(w *workload.Config) {
+			w.MinSide, w.MaxSide, w.Dist = 2, 4, workload.Uniform
+		}),
+		mk("large", "few large tasks, uniform 6..10", func(w *workload.Config) {
+			w.MinSide, w.MaxSide, w.Dist = 6, 10, workload.Uniform
+		}),
+		mk("bimodal", "70/30 small/large mix, the fastest fragmenter", func(w *workload.Config) {
+			w.MinSide, w.MaxSide, w.Dist = 3, 10, workload.Bimodal
+		}),
+		mk("gated-heavy", "90% gated-clock designs: every relocation pays the aux-circuit flow", func(w *workload.Config) {
+			w.MinSide, w.MaxSide, w.Dist = 3, 8, workload.Bimodal
+			w.GatedFraction = 0.9
+		}),
+		mk("ram-heavy", "60% tasks hold distributed RAM: immovable cells pin their columns", func(w *workload.Config) {
+			w.MinSide, w.MaxSide, w.Dist = 3, 8, workload.Bimodal
+			w.RAMFraction = 0.6
+		}),
+	}
+	corner := mk("corner-pressure", "bottom-left packing keeps the NW corner hot (see ROADMAP: west-edge box-in)", func(w *workload.Config) {
+		w.MinSide, w.MaxSide, w.Dist = 2, 6, workload.Uniform
+	})
+	corner.Policy = area.BottomLeft
+	return append(matrix, corner)
+}
+
+// ScenarioByName finds a matrix scenario.
+func ScenarioByName(matrix []Scenario, name string) (Scenario, bool) {
+	for _, sc := range matrix {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// Divergence reports how a physical (fabric-backed) run of one task stream
+// diverged from the pure book-keeping run. Every gap field is oriented so
+// that a positive value means the fabric did worse than the model — see
+// the per-field comments for the exact operand order. The book-keeping
+// model never fails physically, so the gaps isolate the cost of fabric
+// reality (routing congestion, gated-clock relocation flows, immovable
+// RAM columns) that the paper's Tab. 2 / Fig. 7 numbers abstract away.
+type Divergence struct {
+	Scenario string
+	Book     Metrics // pure area book-keeping run
+	Fabric   Metrics // physical run of the same stream
+
+	AllocationGap    float64 // book alloc rate - fabric alloc rate
+	RejectionGap     float64 // fabric rejection rate - book rejection rate
+	FragmentationGap float64 // fabric mean fragmentation - book mean fragmentation
+	RelocatedCLBGap  int     // book relocated CLBs - fabric relocated CLBs
+	RearrangeSecGap  float64 // book rearrange seconds - fabric rearrange seconds
+	// PhysicalPlaceFailures and FailedRemovals mirror the fabric run's
+	// counters: pure fabric-reality events with no book-keeping analogue.
+	PhysicalPlaceFailures int
+	FailedRemovals        int
+}
+
+// CompareSpaces runs tasks through a fresh book-keeping Space sized like
+// the fabric Space's grid, then through the fabric Space itself, and
+// returns the divergence. cfg carries the shared scheduling knobs; grid
+// dimensions come from the fabric Space's manager on both sides.
+func CompareSpaces(cfg Config, fabric Space, tasks []workload.Task) Divergence {
+	m := fabric.Manager()
+	bookCfg := cfg
+	bookCfg.Rows, bookCfg.Cols = m.Rows, m.Cols
+	book := NewSimulator(bookCfg).Run(tasks)
+	phys := NewSimulatorOn(cfg, fabric).Run(tasks)
+	return Divergence{
+		Book:   book,
+		Fabric: phys,
+
+		AllocationGap:         book.AllocationRate - phys.AllocationRate,
+		RejectionGap:          phys.RejectionRate - book.RejectionRate,
+		FragmentationGap:      phys.MeanFragmentation - book.MeanFragmentation,
+		RelocatedCLBGap:       book.RelocatedCLBs - phys.RelocatedCLBs,
+		RearrangeSecGap:       book.RearrangeSeconds - phys.RearrangeSeconds,
+		PhysicalPlaceFailures: phys.PhysicalPlaceFailures,
+		FailedRemovals:        phys.FailedRemovals,
+	}
+}
+
+// RunScenario generates the scenario's stream and compares the book and
+// fabric runs.
+func RunScenario(sc Scenario, fabric Space) Divergence {
+	d := CompareSpaces(sc.Config(), fabric, workload.Stream(sc.Workload))
+	d.Scenario = sc.Name
+	return d
+}

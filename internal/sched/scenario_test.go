@@ -1,0 +1,175 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/area"
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/place"
+	"repro/internal/rearrange"
+	"repro/internal/workload"
+)
+
+func TestScenarioMatrixNames(t *testing.T) {
+	matrix := ScenarioMatrix(1, 10, 1.0)
+	want := []string{"small", "large", "bimodal", "gated-heavy", "ram-heavy", "corner-pressure"}
+	if len(matrix) != len(want) {
+		t.Fatalf("matrix has %d scenarios, want %d", len(matrix), len(want))
+	}
+	for i, name := range want {
+		if matrix[i].Name != name {
+			t.Errorf("scenario %d = %q, want %q", i, matrix[i].Name, name)
+		}
+		if matrix[i].Workload.N != 10 || matrix[i].Workload.Seed != 1 {
+			t.Errorf("scenario %q did not inherit seed/N: %+v", name, matrix[i].Workload)
+		}
+		if _, ok := ScenarioByName(matrix, name); !ok {
+			t.Errorf("ScenarioByName(%q) not found", name)
+		}
+	}
+	if _, ok := ScenarioByName(matrix, "no-such"); ok {
+		t.Error("ScenarioByName found a scenario that does not exist")
+	}
+}
+
+func TestScenarioProfilesFollowKnobs(t *testing.T) {
+	matrix := ScenarioMatrix(3, 200, 1.0)
+	count := func(tasks []workload.Task, f func(workload.Task) bool) int {
+		n := 0
+		for _, tk := range tasks {
+			if f(tk) {
+				n++
+			}
+		}
+		return n
+	}
+	gated := func(tk workload.Task) bool { return tk.Profile.Style == itc99.GatedClock }
+	ram := func(tk workload.Task) bool { return tk.Profile.RAMs > 0 }
+
+	for _, sc := range matrix {
+		tasks := workload.Stream(sc.Workload)
+		g, r := count(tasks, gated), count(tasks, ram)
+		switch sc.Name {
+		case "gated-heavy":
+			if g < 150 {
+				t.Errorf("gated-heavy: only %d/200 gated tasks", g)
+			}
+		case "ram-heavy":
+			if r < 80 {
+				t.Errorf("ram-heavy: only %d/200 RAM tasks", r)
+			}
+		default:
+			if r != 0 {
+				t.Errorf("%s: %d RAM tasks with RAMFraction 0", sc.Name, r)
+			}
+		}
+		for _, tk := range tasks {
+			p := tk.Profile
+			if p.FillFactor <= 0 || p.FillFactor > 1 {
+				t.Fatalf("%s task %d: fill factor %f", sc.Name, tk.ID, p.FillFactor)
+			}
+			if p.Inputs < 2 || p.Outputs < 2 {
+				t.Fatalf("%s task %d: I/O %d/%d below floor", sc.Name, tk.ID, p.Inputs, p.Outputs)
+			}
+			if p.Style == itc99.GatedClock && p.CEFraction <= 0 {
+				t.Fatalf("%s task %d: gated task without CE fraction", sc.Name, tk.ID)
+			}
+		}
+	}
+}
+
+// TestProfileStreamIndependence: profiles draw from their own rng stream,
+// so turning profile knobs on cannot perturb the arrival/size sequence —
+// the property that keeps every pre-profile seed reproducible.
+func TestProfileStreamIndependence(t *testing.T) {
+	base := workload.Config{
+		Seed: 9, N: 50, MeanInterarrival: 1, MeanService: 5,
+		MinSide: 2, MaxSide: 8, Dist: workload.Bimodal,
+	}
+	heavy := base
+	heavy.GatedFraction, heavy.RAMFraction = 0.9, 0.9
+	a, b := workload.Stream(base), workload.Stream(heavy)
+	for i := range a {
+		if a[i].H != b[i].H || a[i].W != b[i].W ||
+			a[i].Arrival != b[i].Arrival || a[i].Service != b[i].Service {
+			t.Fatalf("task %d arrival/size changed when profile knobs changed:\n%+v\n%+v",
+				i, a[i], b[i])
+		}
+	}
+	// And the profile stream itself is deterministic.
+	c := workload.Stream(heavy)
+	for i := range b {
+		if b[i].Profile != c[i].Profile {
+			t.Fatalf("task %d profile not deterministic", i)
+		}
+	}
+}
+
+// TestScenarioNetlistsSoundAndPlaceable is the generator-soundness
+// property test: every scenario-generated netlist validates, respects the
+// conservative cell bound of its declared footprint, and actually places
+// and routes in an empty region of exactly that footprint.
+func TestScenarioNetlistsSoundAndPlaceable(t *testing.T) {
+	n := 16
+	if testing.Short() {
+		n = 5
+	}
+	for _, sc := range ScenarioMatrix(11, n, 1.0) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, tk := range workload.Stream(sc.Workload) {
+				capacity := tk.H * tk.W * fabric.CellsPerCLB
+				cfg := tk.GenConfig(fmt.Sprintf("s%04d", tk.ID), capacity)
+				nl := itc99.Generate(cfg)
+				if err := nl.Validate(); err != nil {
+					t.Fatalf("task %d (%dx%d): invalid netlist: %v", tk.ID, tk.H, tk.W, err)
+				}
+				st := nl.Stats()
+				if got := st.CellUpperBound(); got > capacity {
+					t.Fatalf("task %d: %d cells exceed the %dx%d region's %d (%v)",
+						tk.ID, got, tk.H, tk.W, capacity, st)
+				}
+				if tk.Profile.RAMs > 0 && st.RAMs == 0 {
+					t.Fatalf("task %d: RAM profile produced no RAM nodes", tk.ID)
+				}
+				// Place and route in an empty region of the declared
+				// footprint — the guarantee the scheduler relies on when it
+				// books exactly H x W for the task.
+				dev := fabric.NewDevice(fabric.XCV50)
+				region := fabric.Rect{Row: 2, Col: 2, H: tk.H, W: tk.W}
+				if _, err := place.Place(dev, nl, place.Options{Region: region}); err != nil {
+					t.Fatalf("task %d (%v, fill %.2f, style %v): does not place in its own footprint: %v",
+						tk.ID, region, tk.Profile.FillFactor, tk.Profile.Style, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCompareSpacesAgainstBookIsZero: running the divergence harness with
+// a second book-keeping space as the "fabric" must report zero divergence
+// — the harness itself cannot invent gaps.
+func TestCompareSpacesAgainstBookIsZero(t *testing.T) {
+	cfg := Config{Policy: area.FirstFit, Planner: rearrange.LocalRepacking{}, MaxWait: 10}
+	tasks := workload.Stream(workload.Config{
+		Seed: 5, N: 120, MeanInterarrival: 0.8, MeanService: 5,
+		MinSide: 2, MaxSide: 7, Dist: workload.Bimodal,
+	})
+	d := CompareSpaces(cfg, bookSpace{m: area.NewManager(16, 24)}, tasks)
+	if d.AllocationGap != 0 || d.RejectionGap != 0 || d.FragmentationGap != 0 ||
+		d.RelocatedCLBGap != 0 || d.RearrangeSecGap != 0 {
+		t.Errorf("book-vs-book divergence not zero: %+v", d)
+	}
+	if d.PhysicalPlaceFailures != 0 || d.FailedRemovals != 0 {
+		t.Errorf("book-vs-book physical failures: %+v", d)
+	}
+	if d.Book.Submitted != 120 || d.Fabric.Submitted != 120 {
+		t.Errorf("streams not fully submitted: %+v", d)
+	}
+	if want := float64(d.Book.Rejected) / float64(d.Book.Submitted); d.Book.RejectionRate != want {
+		t.Errorf("RejectionRate = %f, want %f", d.Book.RejectionRate, want)
+	}
+}

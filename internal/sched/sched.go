@@ -30,8 +30,12 @@ type Space interface {
 	Place(t workload.Task, rect fabric.Rect) (int, error)
 	// Remove releases a placed task.
 	Remove(id int) error
-	// Rearrange executes a feasible rearrangement plan.
-	Rearrange(p *rearrange.Plan) error
+	// Rearrange executes a feasible rearrangement plan and reports the CLB
+	// area actually relocated. A fabric-backed Space can fail mid-plan
+	// AFTER earlier steps physically moved designs; that partial work is
+	// real — it burned reconfiguration time — and must be reported so the
+	// divergence metrics account it.
+	Rearrange(p *rearrange.Plan) (int, error)
 }
 
 // bookSpace is the book-keeping-only Space.
@@ -41,8 +45,15 @@ func (b bookSpace) Manager() *area.Manager { return b.m }
 func (b bookSpace) Place(t workload.Task, rect fabric.Rect) (int, error) {
 	return b.m.AllocateAt(rect)
 }
-func (b bookSpace) Remove(id int) error               { return b.m.Free(id) }
-func (b bookSpace) Rearrange(p *rearrange.Plan) error { return rearrange.Execute(b.m, p) }
+func (b bookSpace) Remove(id int) error { return b.m.Free(id) }
+func (b bookSpace) Rearrange(p *rearrange.Plan) (int, error) {
+	// Book-keeping moves cannot fail physically: a feasible plan executes
+	// in full or not at all, so the booked cost is the executed cost.
+	if err := rearrange.Execute(b.m, p); err != nil {
+		return 0, err
+	}
+	return p.CostCLBs, nil
+}
 
 // Config parameterises a scheduling run.
 type Config struct {
@@ -75,10 +86,19 @@ type Metrics struct {
 	MeanUtilisation      float64 // time-weighted
 	AllocationRate       float64 // placed / submitted
 	ImmediateRate        float64 // placed immediately / submitted
+	RejectionRate        float64 // rejected / submitted
 	// FailedRemovals counts departures whose Space.Remove failed (a
 	// fabric-backed unload can fail and roll back); the task then stays
 	// resident and its space is never reclaimed.
 	FailedRemovals int
+	// PhysicalPlaceFailures counts tasks whose placement the book-keeping
+	// model accepted (a free rectangle existed, or a rearrangement plan
+	// was feasible on the grid) but the Space refused — on a fabric-backed
+	// Space that is routing congestion, RAM-column conflicts or a failed
+	// physical relocation, i.e. exactly where fabric reality diverges from
+	// the book-keeping model. Each task counts once no matter how many
+	// queue retries it fails. Always zero for the book-keeping Space.
+	PhysicalPlaceFailures int
 }
 
 // event kinds
@@ -125,8 +145,9 @@ type Simulator struct {
 	fragSum    float64
 	fragN      int
 
-	metrics Metrics
-	waits   []float64
+	metrics    Metrics
+	waits      []float64
+	physFailed map[int]bool // task IDs already counted in PhysicalPlaceFailures
 }
 
 // NewSimulator builds a simulator over the book-keeping Space.
@@ -149,9 +170,17 @@ func NewSimulatorOn(cfg Config, space Space) *Simulator {
 // Manager exposes the underlying area manager (for inspection).
 func (s *Simulator) Manager() *area.Manager { return s.m }
 
-// Run processes a task stream to completion and returns the metrics.
+// Run processes a task stream to completion and returns the metrics. All
+// per-run state resets up front, so one Simulator may run several streams
+// (each against whatever its Space still holds).
 func (s *Simulator) Run(tasks []workload.Task) Metrics {
 	s.metrics = Metrics{Submitted: len(tasks)}
+	s.physFailed = nil
+	s.events = nil
+	s.queue = nil
+	s.waits = nil
+	s.now, s.lastSample = 0, 0
+	s.utilInt, s.fragSum, s.fragN = 0, 0, 0
 	sorted := append([]workload.Task{}, tasks...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Arrival < sorted[j].Arrival })
 	for _, t := range sorted {
@@ -212,24 +241,45 @@ func (s *Simulator) place(t workload.Task, fromQueue bool) bool {
 			s.start(t, id, 0, fromQueue, false)
 			return true
 		}
+		s.notePhysicalFailure(t)
 		return false
 	}
 	plan, ok := s.cfg.Planner.Plan(s.m, t.H, t.W)
 	if !ok {
 		return false
 	}
-	if err := s.space.Rearrange(plan); err != nil {
+	moved, err := s.space.Rearrange(plan)
+	// Whatever relocation work executed — the whole plan, or the steps a
+	// fabric-backed Space completed before failing — is done and paid for,
+	// whether or not the incoming task then places.
+	rt := float64(moved) * s.cfg.RelocSecPerCLB
+	s.metrics.RelocatedCLBs += moved
+	s.metrics.RearrangeSeconds += rt
+	if err != nil {
+		s.notePhysicalFailure(t)
 		return false
 	}
 	id, err := s.space.Place(t, plan.Target)
 	if err != nil {
+		s.notePhysicalFailure(t)
 		return false
 	}
-	rt := float64(plan.CostCLBs) * s.cfg.RelocSecPerCLB
-	s.metrics.RelocatedCLBs += plan.CostCLBs
-	s.metrics.RearrangeSeconds += rt
 	s.start(t, id, rt, fromQueue, len(plan.Steps) > 0)
 	return true
+}
+
+// notePhysicalFailure records a placement the book-keeping accepted but
+// the Space refused. Each task counts once, however many times the queue
+// retries it, so the metric counts divergent placements, not attempts.
+func (s *Simulator) notePhysicalFailure(t workload.Task) {
+	if s.physFailed[t.ID] {
+		return
+	}
+	if s.physFailed == nil {
+		s.physFailed = map[int]bool{}
+	}
+	s.physFailed[t.ID] = true
+	s.metrics.PhysicalPlaceFailures++
 }
 
 func (s *Simulator) start(t workload.Task, id int, extraDelay float64, fromQueue, rearranged bool) {
@@ -301,5 +351,6 @@ func (s *Simulator) finish() {
 	if s.metrics.Submitted > 0 {
 		s.metrics.AllocationRate = float64(placed) / float64(s.metrics.Submitted)
 		s.metrics.ImmediateRate = float64(s.metrics.Placed) / float64(s.metrics.Submitted)
+		s.metrics.RejectionRate = float64(s.metrics.Rejected) / float64(s.metrics.Submitted)
 	}
 }

@@ -2,17 +2,82 @@
 // for the run-time management experiments: on-line task arrivals of varying
 // footprint (the fragmentation stress of the paper's §1) and multi-function
 // application chains like the paper's Fig. 1.
+//
+// Each task also carries a design Profile — the circuit it implements when
+// the scheduler runs in fabric mode: sequential style (free-running /
+// gated-clock), LUT/FF fill-factor target, distributed-RAM usage and I/O
+// counts, all drawn from configurable distributions. Profiles are drawn
+// from an rng stream separate from the arrival/size stream, so enabling
+// them never perturbs an existing task stream.
 package workload
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/itc99"
+)
 
 // Task is one hardware function request: it needs an H x W CLB region for
-// Service seconds, arriving at Arrival.
+// Service seconds, arriving at Arrival, and implements the design described
+// by Profile when the scheduler drives a real fabric.
 type Task struct {
 	ID      int
 	Arrival float64
 	Service float64
 	H, W    int
+	Profile Profile
+}
+
+// Profile describes the design a task implements: the knobs the paper's
+// relocation procedure cares about (sequential style, clock gating,
+// distributed RAM) plus how densely the task fills its allocated region.
+type Profile struct {
+	// Style is the sequential design style (free-running or gated-clock;
+	// the async latch style is exercised by dedicated tests, not streams).
+	Style itc99.Style
+	// FillFactor is the target fraction of the allocated region's logic
+	// cells the design occupies (0 = the 0.35 default).
+	FillFactor float64
+	// CEFraction is the fraction of FFs that are clock-gated (GatedClock
+	// style only).
+	CEFraction float64
+	// RAMs is the number of 16x1 distributed RAMs — cells the relocation
+	// engine must refuse to move, and whose columns no relocation may
+	// touch, so RAM tasks pin fabric behaviour away from the book-keeping
+	// model.
+	RAMs int
+	// Inputs and Outputs are the primary I/O counts.
+	Inputs, Outputs int
+	// Seed drives the deterministic circuit generator for this task.
+	Seed uint64
+}
+
+// GenConfig maps the task's profile onto the circuit generator, sized to
+// its allocated region's logic-cell capacity (rect CLBs x cells per CLB).
+// Zero-valued profile fields fall back to the fixed-shape defaults so
+// legacy streams remain loadable.
+func (t Task) GenConfig(name string, capacityCells int) itc99.GenConfig {
+	p := t.Profile
+	if p.Inputs == 0 {
+		p.Inputs = 2
+	}
+	if p.Outputs == 0 {
+		p.Outputs = 2
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = uint64(t.ID)
+	}
+	cfg := itc99.GenConfig{
+		Name:       name,
+		Inputs:     p.Inputs,
+		Outputs:    p.Outputs,
+		Seed:       seed,
+		Style:      p.Style,
+		CEFraction: p.CEFraction,
+		RAMs:       p.RAMs,
+	}
+	return cfg.SizedTo(capacityCells, p.FillFactor)
 }
 
 // rng is a splitmix64 generator (stable across Go releases).
@@ -58,17 +123,84 @@ type Config struct {
 	MeanService      float64
 	MinSide, MaxSide int
 	Dist             SizeDist
+
+	// Design-profile knobs. Profiles are drawn from a separate rng stream,
+	// so these knobs never change the arrival/size sequence above.
+
+	// GatedFraction is the probability a task is a gated-clock design
+	// (relocating its cells needs the paper's auxiliary-circuit flow).
+	GatedFraction float64
+	// CEFraction is the per-design fraction of clock-gated FFs for gated
+	// tasks (0 = the 0.75 default, matching the ITC'99 suite mapping).
+	CEFraction float64
+	// RAMFraction is the probability a task instantiates distributed RAM;
+	// such tasks cannot be relocated on-line at all.
+	RAMFraction float64
+	// MaxRAMs caps the RAM count of a RAM task (0 = default 2).
+	MaxRAMs int
+	// FillMin/FillMax bound the per-task fill-factor target (both 0 =
+	// default 0.25..0.40 — dense enough to stress routing, sparse enough
+	// that a sound generator always places).
+	FillMin, FillMax float64
+	// MinIO/MaxIO bound the primary input and output counts (0 = 2..4).
+	MinIO, MaxIO int
+}
+
+// profileDefaults fills zero-valued profile knobs.
+func (cfg Config) profileDefaults() Config {
+	if cfg.CEFraction == 0 {
+		cfg.CEFraction = 0.75
+	}
+	if cfg.MaxRAMs == 0 {
+		cfg.MaxRAMs = 2
+	}
+	if cfg.FillMin == 0 && cfg.FillMax == 0 {
+		cfg.FillMin, cfg.FillMax = 0.25, 0.40
+	}
+	if cfg.FillMax < cfg.FillMin {
+		cfg.FillMax = cfg.FillMin
+	}
+	if cfg.MinIO == 0 {
+		cfg.MinIO = 2
+	}
+	if cfg.MaxIO < cfg.MinIO {
+		cfg.MaxIO = cfg.MinIO + 2
+	}
+	return cfg
+}
+
+// drawProfile draws one task's design profile from the profile rng stream.
+func (cfg Config) drawProfile(r *rng) Profile {
+	p := Profile{
+		Style:      itc99.FreeRunning,
+		FillFactor: cfg.FillMin + r.float()*(cfg.FillMax-cfg.FillMin),
+		Inputs:     cfg.MinIO + r.intn(cfg.MaxIO-cfg.MinIO+1),
+		Outputs:    cfg.MinIO + r.intn(cfg.MaxIO-cfg.MinIO+1),
+		Seed:       r.next(),
+	}
+	if r.float() < cfg.GatedFraction {
+		p.Style = itc99.GatedClock
+		p.CEFraction = cfg.CEFraction
+	}
+	if r.float() < cfg.RAMFraction {
+		p.RAMs = 1 + r.intn(cfg.MaxRAMs)
+	}
+	return p
 }
 
 // Stream generates a task stream.
 func Stream(cfg Config) []Task {
 	r := &rng{s: cfg.Seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9}
+	// Profiles draw from their own stream so profile knobs (and the draws
+	// themselves) cannot perturb arrival/size sequences of existing seeds.
+	pr := &rng{s: cfg.Seed*0x6A09E667F3BCC909 + 0x3C6EF372FE94F82B}
 	if cfg.MinSide < 1 {
 		cfg.MinSide = 1
 	}
 	if cfg.MaxSide < cfg.MinSide {
 		cfg.MaxSide = cfg.MinSide
 	}
+	pcfg := cfg.profileDefaults()
 	tasks := make([]Task, cfg.N)
 	t := 0.0
 	for i := range tasks {
@@ -80,6 +212,7 @@ func Stream(cfg Config) []Task {
 			Service: r.exp(cfg.MeanService),
 			H:       h,
 			W:       w,
+			Profile: pcfg.drawProfile(pr),
 		}
 	}
 	return tasks
