@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-baseline cover
+.PHONY: test race bench bench-baseline cover lint
 
 test:
 	go build ./... && go test ./...
@@ -20,6 +20,20 @@ bench-baseline:
 	go run ./cmd/benchdiff parse bench.txt > BENCH_baseline.json
 	rm -f bench.txt
 
+# Mirrors the CI lint lane; falls back to go vet when staticcheck is not on
+# PATH (install: go install honnef.co/go/tools/cmd/staticcheck@2023.1.7).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found, running go vet (see Makefile for install)"; \
+		go vet ./...; \
+	fi
+
+# Enforces the same 75% floor as the CI coverage lane (keep in sync with
+# .github/workflows/ci.yml).
 cover:
 	go test -coverprofile=cover.out ./...
-	go tool cover -func=cover.out | tail -1
+	@go tool cover -func=cover.out | tail -1
+	@total=$$(go tool cover -func=cover.out | tail -1 | awk '{print substr($$3, 1, length($$3)-1)}'); \
+	awk -v t="$$total" 'BEGIN { if (t + 0 < 75.0) { print "coverage " t "% is below the 75% floor"; exit 1 } }'

@@ -20,6 +20,7 @@ import (
 	"repro/internal/relocate"
 	"repro/internal/route"
 	"repro/internal/sched"
+	"repro/internal/template"
 	"repro/internal/workload"
 )
 
@@ -438,6 +439,72 @@ func BenchmarkUnload(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkLoadWarmVsCold gates the template cache: a warm Load (cache hit:
+// stream the pre-routed image, route only boundary nets) against a cold Load
+// (full place-and-route) of the same circuit on XCV50. The warm path must
+// come in well under the cold one — the acceptance floor is 5x.
+func BenchmarkLoadWarmVsCold(b *testing.B) {
+	cfg := genCfg("gen", 11, itc99.FreeRunning)
+	region := fabric.Rect{Row: 4, Col: 6, H: 4, W: 4}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP),
+				WithTemplateCache(&template.Policy{Capacity: 8}))
+			if err != nil {
+				b.Fatal(err)
+			}
+			nl := itc99.Generate(cfg)
+			b.StartTimer()
+			if _, err := sys.Load(nl, region); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "cold_ms_per_load")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP),
+			WithTemplateCache(&template.Policy{Capacity: 8}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cache: one cold load captures the template.
+		if _, err := sys.Load(itc99.Generate(cfg), region); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.Unload("gen"); err != nil {
+			b.Fatal(err)
+		}
+		if st, _ := sys.TemplateStats(); st.Stores != 1 {
+			b.Fatalf("priming load was not captured: %+v", st)
+		}
+		nl := itc99.Generate(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Load(nl, region); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := sys.Unload("gen"); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		st, _ := sys.TemplateStats()
+		if st.Hits != b.N {
+			b.Fatalf("not every load was warm: %d/%d, %+v", st.Hits, b.N, st)
+		}
+		b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "warm_ms_per_load")
+		b.ReportMetric(st.HitRate(), "tmpl_hit_rate")
+	})
 }
 
 // BenchmarkCheckpoint measures opening and releasing a run-time-manager

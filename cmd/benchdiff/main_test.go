@@ -130,6 +130,54 @@ func TestCompareDocsCarriesCustomMetrics(t *testing.T) {
 	}
 }
 
+// TestTemplateCacheMetricsRideThrough pins the template-cache bench lane:
+// BenchmarkLoadWarmVsCold reports tmpl_hit_rate and warm_ms_per_load as
+// custom units, and both must survive parse and render through compare as
+// informational columns — a warm-path slowdown shows up in the PR table
+// without the wall-clock gate deciding whether a cache policy change is
+// acceptable.
+func TestTemplateCacheMetricsRideThrough(t *testing.T) {
+	in := "pkg: repro\n" +
+		"BenchmarkLoadWarmVsCold/cold-8 20 34495721 ns/op 34.45 cold_ms_per_load\n" +
+		"BenchmarkLoadWarmVsCold/warm-8 20 2402152 ns/op 0.9524 tmpl_hit_rate 2.400 warm_ms_per_load\n"
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := index(doc)
+	warm, ok := by["repro.BenchmarkLoadWarmVsCold/warm"]
+	if !ok {
+		t.Fatalf("warm lane missing: %v", sortedKeys(by))
+	}
+	if warm.Metrics["tmpl_hit_rate"] != 0.9524 || warm.Metrics["warm_ms_per_load"] != 2.4 {
+		t.Fatalf("warm metrics mis-parsed: %v", warm.Metrics)
+	}
+	if cold := by["repro.BenchmarkLoadWarmVsCold/cold"]; cold.Metrics["cold_ms_per_load"] != 34.45 {
+		t.Fatalf("cold metric mis-parsed: %v", cold.Metrics)
+	}
+	// A later run where the hit rate collapses and warm loads slow down: the
+	// movement renders in the table, but only the ns/op gate may fail the run.
+	cur := map[string]Benchmark{}
+	for k, b := range by {
+		c := b
+		if k == "repro.BenchmarkLoadWarmVsCold/warm" {
+			c.Metrics = map[string]float64{"tmpl_hit_rate": 0.10, "warm_ms_per_load": 30.1}
+		}
+		cur[k] = c
+	}
+	var out strings.Builder
+	gating, info := compareDocs(by, cur, 0.20, 0.30, false, &out)
+	if len(gating) != 0 || len(info) != 0 {
+		t.Fatalf("metric movement must not gate: gating %v, info %v", gating, info)
+	}
+	text := out.String()
+	for _, want := range []string{"tmpl_hit_rate", "warm_ms_per_load", "cold_ms_per_load", "informational"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestParseCustomMetricUnits(t *testing.T) {
 	in := "pkg: repro\nBenchmarkTab226msRelocationTime-8 1 400000000 ns/op 6.86 ms/CLB 9.42 ms_per_clb 0.46 overlap_ratio\n"
 	doc, err := Parse(strings.NewReader(in))

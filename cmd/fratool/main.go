@@ -23,6 +23,7 @@ import (
 	"repro/internal/itc99"
 	"repro/internal/jtag"
 	"repro/internal/sim"
+	"repro/internal/template"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 		maxStep    = flag.Int("max-step", 0, "stage long moves into hops of at most this many CLBs (0 = direct)")
 		tck        = flag.Float64("tck", jtag.DefaultTCKHz, "Boundary-Scan test clock frequency (Hz)")
 		verify     = flag.Bool("verify", true, "run the design in lock-step against its golden model during the relocation")
+		tmpl       = flag.Bool("tmpl", false, "enable the pre-routed template cache: -move-region relocates by address translation when possible (requires -verify=false; translation resets design state)")
 		list       = flag.Bool("list-benchmarks", false, "list available benchmark circuits")
 		showMap    = flag.Bool("map", false, "print the occupancy map after the operation")
 		progress   = flag.Bool("progress", true, "print the system's event stream while the tool works")
@@ -58,7 +60,15 @@ func main() {
 	if !ok {
 		fail(fmt.Errorf("unknown device %q", *deviceName))
 	}
-	sys, err := rlm.New(rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan), rlm.WithClock(*tck))
+	if *tmpl && *verify {
+		fmt.Fprintln(os.Stderr, "fratool: -tmpl requires -verify=false (translation resets design state); template cache disabled")
+		*tmpl = false
+	}
+	opts := []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan), rlm.WithClock(*tck)}
+	if *tmpl {
+		opts = append(opts, rlm.WithTemplateCache(&template.Policy{}))
+	}
+	sys, err := rlm.New(opts...)
 	fail(err)
 
 	// Typed event stream: every load, CLB relocation and rearrangement the
@@ -169,6 +179,10 @@ func main() {
 	st := sys.Stats()
 	fmt.Printf("totals: cells=%d aux-circuits=%d frames=%d port-time=%.2f ms (%s)\n",
 		st.CellsRelocated, st.AuxCircuits, st.FramesWritten, st.PortSeconds*1e3, sys.Port().Name())
+	if ts, ok := sys.TemplateStats(); ok {
+		fmt.Printf("templates: %d stored, %d translated moves, %d fallbacks\n",
+			ts.Stores, ts.Translations, ts.Fallbacks)
+	}
 	if *showMap {
 		fmt.Print(sys.Map())
 	}

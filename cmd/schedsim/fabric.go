@@ -3,15 +3,21 @@ package main
 import (
 	rlm "repro"
 	"repro/internal/fabric"
+	"repro/internal/template"
 )
 
 // newFabricSpace builds a live System on the given device preset and wraps
 // it as a sched.Space (see rlm.FabricSpace): every placed task is a real
 // profile-shaped design sized to its allocated region, every rearrangement
 // a physical relocation through the configuration port, with optional
-// lock-step verification of all resident designs.
-func newFabricSpace(preset fabric.Preset, verify bool) (*rlm.FabricSpace, error) {
-	sys, err := rlm.New(rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan))
+// lock-step verification of all resident designs. tmplCap > 0 enables the
+// pre-routed template cache with that capacity.
+func newFabricSpace(preset fabric.Preset, verify bool, tmplCap int) (*rlm.FabricSpace, error) {
+	opts := []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan)}
+	if tmplCap > 0 {
+		opts = append(opts, rlm.WithTemplateCache(&template.Policy{Capacity: tmplCap}))
+	}
+	sys, err := rlm.New(opts...)
 	if err != nil {
 		return nil, err
 	}

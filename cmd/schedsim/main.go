@@ -53,8 +53,19 @@ func main() {
 		verify     = flag.Bool("verify", true, "lock-step verify resident designs during relocations (-fabric)")
 		events     = flag.Bool("events", false, "print the system's event stream (-fabric)")
 		scenario   = flag.String("scenario", "", "run only the named scenario of the matrix (scenarios)")
+		tmpl       = flag.Int("tmpl", 0, "template cache capacity: warm loads + relocation-by-translation (0 = off; -fabric/scenarios)")
+		pool       = flag.Int("pool", 0, "repeat-pool size: tasks draw shape+circuit from this many combos (0 = fresh draws)")
 	)
 	flag.Parse()
+
+	if *tmpl > 0 && *verify {
+		// Translated relocations re-initialise storage elements (the replica
+		// path transfers live state), so lock-step verification of resident
+		// designs would flag every translated move as divergence.
+		fmt.Fprintln(os.Stderr,
+			"schedsim: -tmpl requires -verify=false (translation resets design state); template cache disabled")
+		*tmpl = 0
+	}
 
 	switch *experiment {
 	case "fig1":
@@ -68,7 +79,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
 			os.Exit(2)
 		}
-		scenarios(preset, *tasks, *seed, *load, *verify, *scenario)
+		scenarios(preset, *tasks, *seed, *load, *verify, *scenario, *tmpl)
 	case "defrag":
 		if *tasks == 0 {
 			*tasks = 400
@@ -82,15 +93,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
 				os.Exit(2)
 			}
-			defragFabric(preset, *tasks, *seed, *load, *verify, *events)
+			defragFabric(preset, *tasks, *seed, *load, *verify, *events, *tmpl, *pool)
 		} else {
-			defrag(*rows, *cols, *tasks, *seed, *load)
+			defrag(*rows, *cols, *tasks, *seed, *load, *pool)
 		}
 	case "policies":
 		if *tasks == 0 {
 			*tasks = 400
 		}
-		policies(*rows, *cols, *tasks, *seed, *load)
+		policies(*rows, *cols, *tasks, *seed, *load, *pool)
 	default:
 		fmt.Fprintf(os.Stderr, "schedsim: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -121,11 +132,12 @@ func fig1(rows, cols int, seed uint64) {
 	}
 }
 
-func taskStream(tasks int, seed uint64, load float64) []workload.Task {
+func taskStream(tasks int, seed uint64, load float64, pool int) []workload.Task {
 	return workload.Stream(workload.Config{
 		Seed: seed, N: tasks,
 		MeanInterarrival: 1.0 / load, MeanService: 6.0,
 		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
+		RepeatPool: pool,
 	})
 }
 
@@ -142,8 +154,8 @@ func printMetrics(planner rearrange.Planner, m sched.Metrics) {
 
 // defrag reproduces the defragmentation study: allocation rate and waiting
 // time for the same task stream with three rearrangement strategies.
-func defrag(rows, cols, tasks int, seed uint64, load float64) {
-	stream := taskStream(tasks, seed, load)
+func defrag(rows, cols, tasks int, seed uint64, load float64, pool int) {
+	stream := taskStream(tasks, seed, load, pool)
 	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, tasks, load)
 	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
@@ -159,15 +171,15 @@ func defrag(rows, cols, tasks int, seed uint64, load float64) {
 
 // defragFabric runs the same schedule against a live System: real designs,
 // real relocations, same Metrics schema.
-func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, verify, events bool) {
-	stream := taskStream(tasks, seed, load)
+func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, verify, events bool, tmplCap, pool int) {
+	stream := taskStream(tasks, seed, load, pool)
 	fmt.Printf("Defragmentation study on live fabric — %s (%dx%d CLBs), %d tasks, load %.2f/s, verify=%v\n",
 		preset.Name, preset.Rows, preset.Cols, tasks, load, verify)
 	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
 		rearrange.None{}, rearrange.LocalRepacking{},
 	} {
-		space, err := newFabricSpace(preset, verify)
+		space, err := newFabricSpace(preset, verify, tmplCap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "schedsim:", err)
 			os.Exit(1)
@@ -195,6 +207,7 @@ func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, ve
 		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic, %d designs resident at end\n",
 			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
 			space.System().Port().Name(), len(space.System().Designs()))
+		printTemplateStats(space.System())
 		if events {
 			cancel()
 			wg.Wait()
@@ -205,7 +218,7 @@ func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, ve
 // scenarios runs the named scenario matrix: each scenario's profiled task
 // stream is executed on a live fabric and on the pure book-keeping model,
 // and the divergence between the two runs is reported per scenario.
-func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verify bool, only string) {
+func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verify bool, only string, tmplCap int) {
 	matrix := sched.ScenarioMatrix(seed, tasks, load)
 	if only != "" {
 		sc, ok := sched.ScenarioByName(matrix, only)
@@ -220,7 +233,7 @@ func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verif
 	fmt.Printf("%-16s %-11s %-11s %-9s %-9s %-10s %-10s %-10s\n",
 		"scenario", "alloc-book", "alloc-fab", "rej-gap", "frag-gap", "phys-fail", "clb-gap", "reloc-s")
 	for _, sc := range matrix {
-		space, err := newFabricSpace(preset, verify)
+		space, err := newFabricSpace(preset, verify, tmplCap)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "schedsim:", err)
 			os.Exit(1)
@@ -234,12 +247,23 @@ func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verif
 		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic — %s\n",
 			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
 			space.System().Port().Name(), sc.Desc)
+		printTemplateStats(space.System())
 	}
 }
 
+// printTemplateStats reports template-cache outcomes when the cache is on.
+func printTemplateStats(sys *rlm.System) {
+	st, ok := sys.TemplateStats()
+	if !ok {
+		return
+	}
+	fmt.Printf("  templates: %d hits / %d misses (%.0f%% warm), %d translated moves, %d fallbacks, %d evictions\n",
+		st.Hits, st.Misses, 100*st.HitRate(), st.Translations, st.Fallbacks, st.Evictions)
+}
+
 // policies compares the allocation policies under one planner.
-func policies(rows, cols, tasks int, seed uint64, load float64) {
-	stream := taskStream(tasks, seed, load)
+func policies(rows, cols, tasks int, seed uint64, load float64, pool int) {
+	stream := taskStream(tasks, seed, load, pool)
 	fmt.Printf("Placement-policy study — %dx%d CLBs, %d tasks\n", rows, cols, tasks)
 	fmt.Printf("%-14s %-10s %-12s %-12s\n", "policy", "alloc", "mean-wait", "frag(mean)")
 	for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {

@@ -26,11 +26,28 @@ const (
 	// request (Recover) or while rolling back a failed operation (Err is
 	// then the failure that triggered the rollback).
 	Recovered
+	// TemplateHit: a Load found a pre-routed template and took the warm
+	// path (frame splicing plus boundary routing; no interior place/route).
+	TemplateHit
+	// TemplateMiss: a Load with the template cache enabled found no entry
+	// and fell through to the cold place-and-route path.
+	TemplateMiss
+	// TemplateStored: a cold load captured its design into the cache.
+	TemplateStored
+	// TemplateEvicted: the cache dropped an entry to make room; Design
+	// holds the evicted key.
+	TemplateEvicted
+	// DesignTranslated: a whole-design relocation was served by address
+	// translation (frame image re-targeted to the new columns plus a
+	// boundary patch) instead of cell-by-cell replication.
+	DesignTranslated
 )
 
 var eventKindNames = [...]string{
 	"design-loaded", "design-unloaded", "design-moved", "clb-relocated",
 	"rearrange-started", "rearrange-finished", "recovered",
+	"template-hit", "template-miss", "template-stored", "template-evicted",
+	"design-translated",
 }
 
 func (k EventKind) String() string {
@@ -57,8 +74,10 @@ func (e Event) String() string {
 	switch e.Kind {
 	case DesignLoaded, DesignUnloaded:
 		return fmt.Sprintf("%s %s %v", e.Kind, e.Design, e.Region)
-	case DesignMoved:
+	case DesignMoved, DesignTranslated:
 		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.From, e.Region)
+	case TemplateHit, TemplateMiss, TemplateStored, TemplateEvicted:
+		return fmt.Sprintf("%s %s", e.Kind, e.Design)
 	case CLBRelocated:
 		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.CLBFrom, e.CLBTo)
 	case RearrangeStarted:

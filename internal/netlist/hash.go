@@ -1,0 +1,154 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest is the canonical content hash of a netlist. Two netlists share a
+// digest exactly when they describe the same circuit over the same external
+// interface: node names and the netlist name are excluded, internal node
+// numbering is normalised away, but primary input and output positions keep
+// their declaration-order identity (swapping two inputs is a different
+// circuit to the outside world, so it must be a different digest — a cached
+// frame image binds pads by interface position).
+type Digest [sha256.Size]byte
+
+// String renders the digest as lower-case hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short renders the first 6 bytes as hex — enough for log lines.
+func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
+
+// Canon is a netlist's canonical form: the content digest together with the
+// numbering that produced it. Order and Index are inverse permutations; two
+// netlists with equal digests have structurally corresponding nodes at equal
+// canonical indices, which is what lets a template captured from one netlist
+// be re-bound to another netlist that hashes the same.
+type Canon struct {
+	Digest Digest
+	// Order[c] is the original id of the node with canonical index c.
+	Order []ID
+	// Index[orig] is the canonical index of original node id orig.
+	Index []int32
+}
+
+// Canonical computes the canonical form. The numbering is structure-driven:
+// primary inputs first in declaration order, then a depth-first walk from
+// each primary output in declaration order, visiting a node's references in
+// positional order (LUT input position is semantic). State elements (FF,
+// latch, RAM) are traversal barriers — they are numbered on first encounter
+// and their D/CE cones queued for a later pass — so feedback loops
+// terminate. Unreachable nodes are numbered last, continuing the same walk
+// from each in declaration order (dead logic still occupies cells once
+// placed, so it must contribute to the digest).
+func (n *Netlist) Canonical() Canon {
+	idx := make([]int32, len(n.Nodes))
+	for i := range idx {
+		idx[i] = -1
+	}
+	order := make([]ID, 0, len(n.Nodes))
+	assign := func(id ID) bool {
+		if idx[id] >= 0 {
+			return false
+		}
+		idx[id] = int32(len(order))
+		order = append(order, id)
+		return true
+	}
+	var queue []ID
+	var visit func(ID)
+	visit = func(id ID) {
+		if idx[id] >= 0 {
+			return
+		}
+		nd := &n.Nodes[id]
+		assign(id)
+		switch nd.Kind {
+		case KindFF, KindLatch, KindRAM:
+			queue = append(queue, id)
+			return
+		}
+		for _, r := range nd.Ins {
+			visit(r)
+		}
+	}
+	drain := func() {
+		for len(queue) > 0 {
+			id := queue[0]
+			queue = queue[1:]
+			nd := &n.Nodes[id]
+			for _, r := range nd.Ins {
+				visit(r)
+			}
+			if nd.D != None {
+				visit(nd.D)
+			}
+			if nd.CE != None {
+				visit(nd.CE)
+			}
+		}
+	}
+	for _, id := range n.Inputs() {
+		assign(id)
+	}
+	for _, id := range n.Outputs() {
+		visit(id)
+	}
+	drain()
+	for i := range n.Nodes {
+		if idx[i] < 0 {
+			visit(ID(i))
+			drain()
+		}
+	}
+
+	h := sha256.New()
+	var b [4]byte
+	w16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(b[:2], v)
+		h.Write(b[:2])
+	}
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		h.Write(b[:4])
+	}
+	cid := func(id ID) uint32 {
+		if id == None {
+			return 0xFFFFFFFF
+		}
+		return uint32(idx[id])
+	}
+	h.Write([]byte("rlm-netlist-v1"))
+	w32(uint32(len(n.Nodes)))
+	for _, id := range order {
+		nd := &n.Nodes[id]
+		init := byte(0)
+		if nd.Init {
+			init = 1
+		}
+		h.Write([]byte{byte(nd.Kind), init})
+		w16(nd.LUT)
+		w32(uint32(len(nd.Ins)))
+		for _, r := range nd.Ins {
+			w32(cid(r))
+		}
+		// D and CE are only meaningful on state elements; on other kinds the
+		// struct fields hold zero values that would alias node id 0.
+		d, ce := None, None
+		if nd.Kind == KindFF || nd.Kind == KindLatch || nd.Kind == KindRAM {
+			d, ce = nd.D, nd.CE
+		}
+		w32(cid(d))
+		w32(cid(ce))
+	}
+	var c Canon
+	copy(c.Digest[:], h.Sum(nil))
+	c.Order = order
+	c.Index = idx
+	return c
+}
+
+// ContentHash returns just the canonical digest.
+func (n *Netlist) ContentHash() Digest { return n.Canonical().Digest }

@@ -1,0 +1,227 @@
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/itc99"
+	"repro/internal/netlist"
+)
+
+func mustGet(name string) *netlist.Netlist {
+	nl, err := itc99.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}
+
+// Golden digests. These pin the canonical serialisation format: if an edit
+// to Canonical() changes any of them, the change invalidates every cached
+// template image and must be deliberate (bump the format tag, note it in
+// the commit).
+var goldenDigests = []struct {
+	name string
+	gen  func() *netlist.Netlist
+	hex  string
+}{
+	{
+		name: "b01",
+		gen:  func() *netlist.Netlist { return mustGet("b01") },
+		hex:  "9c6f6961502c13aa3641481238f01b4aa9dbd32df3c8f1d15753111c849f694b",
+	},
+	{
+		name: "b06",
+		gen:  func() *netlist.Netlist { return mustGet("b06") },
+		hex:  "f3178d23731ae3950814fd989f333fb79f77edbe991a75be502b368875bbfc67",
+	},
+	{
+		name: "gen-free-seed1",
+		gen: func() *netlist.Netlist {
+			return itc99.Generate(itc99.GenConfig{
+				Name: "g1", Inputs: 4, Outputs: 3, FFs: 6, LUTs: 10, Seed: 1,
+			})
+		},
+		hex: "9192ec443b35114e0761d10ce00a4aae0fb34db94c38839d8e81db5575adbf1b",
+	},
+	{
+		name: "gen-gated-seed7",
+		gen: func() *netlist.Netlist {
+			return itc99.Generate(itc99.GenConfig{
+				Name: "g7", Inputs: 4, Outputs: 3, FFs: 8, LUTs: 12, Seed: 7,
+				Style: itc99.GatedClock, CEFraction: 0.5,
+			})
+		},
+		hex: "4274bff22b4b557f07250827a9dfe7b4a192e7215654fb841de0ca88573dce5d",
+	},
+	{
+		name: "gen-ram-seed3",
+		gen: func() *netlist.Netlist {
+			return itc99.Generate(itc99.GenConfig{
+				Name: "g3", Inputs: 5, Outputs: 2, FFs: 4, LUTs: 8, Seed: 3, RAMs: 1,
+			})
+		},
+		hex: "24fb677b52b5b31898e9da09549c7866a93a6f5069723d510d3cde8a58f02561",
+	},
+}
+
+func TestContentHashGolden(t *testing.T) {
+	for _, g := range goldenDigests {
+		got := g.gen().ContentHash().String()
+		if got != g.hex {
+			t.Errorf("%s: digest %s, golden %s", g.name, got, g.hex)
+		}
+	}
+}
+
+// The digest must not depend on node names: the same circuit generated
+// under different names (as a scheduler naming repeat tasks t0001, t0002
+// does) must hit the same template.
+func TestContentHashNameInvariant(t *testing.T) {
+	mk := func(name string) *netlist.Netlist {
+		return itc99.Generate(itc99.GenConfig{
+			Name: name, Inputs: 4, Outputs: 3, FFs: 6, LUTs: 10, Seed: 42,
+		})
+	}
+	a, b := mk("alpha"), mk("beta")
+	// Same structure, same internal names apart from the netlist's own.
+	if a.ContentHash() != b.ContentHash() {
+		t.Fatalf("netlist name changed the digest")
+	}
+	// Rename every node.
+	renamed := &netlist.Netlist{Name: "gamma", Nodes: append([]netlist.Node(nil), a.Nodes...)}
+	for i := range renamed.Nodes {
+		nd := renamed.Nodes[i]
+		nd.Name = "n" + string(rune('A'+i%26)) + nd.Name
+		renamed.Nodes[i] = nd
+	}
+	if a.ContentHash() != renamed.ContentHash() {
+		t.Fatalf("node renaming changed the digest")
+	}
+}
+
+// The digest must not depend on internal node numbering: building the same
+// circuit with intermediate nodes declared in a different order hashes the
+// same.
+func TestContentHashOrderInvariant(t *testing.T) {
+	build := func(swap bool) *netlist.Netlist {
+		nl := netlist.New("perm")
+		a := nl.Input("a")
+		b := nl.Input("b")
+		var x, y netlist.ID
+		if swap {
+			y = nl.LUT("y", 0x8, a, b) // AND
+			x = nl.LUT("x", 0xE, a, b) // OR
+		} else {
+			x = nl.LUT("x", 0xE, a, b)
+			y = nl.LUT("y", 0x8, a, b)
+		}
+		f := nl.FF("f", x, netlist.None, false)
+		nl.Output("o1", f)
+		nl.Output("o2", y)
+		return nl
+	}
+	if build(false).ContentHash() != build(true).ContentHash() {
+		t.Fatalf("internal declaration order changed the digest")
+	}
+}
+
+// Primary I/O keeps declaration-order identity: swapping two inputs is a
+// different circuit to the outside world (pads bind by position), so the
+// digest must change. Same for outputs.
+func TestContentHashIOPositionSensitive(t *testing.T) {
+	build := func(swapIn, swapOut bool) *netlist.Netlist {
+		nl := netlist.New("io")
+		var a, b netlist.ID
+		if swapIn {
+			b = nl.Input("b")
+			a = nl.Input("a")
+		} else {
+			a = nl.Input("a")
+			b = nl.Input("b")
+		}
+		x := nl.LUT("x", 0x2, a, b) // a AND NOT b: asymmetric
+		y := nl.LUT("y", 0x6, a, b) // XOR
+		if swapOut {
+			nl.Output("o2", y)
+			nl.Output("o1", x)
+		} else {
+			nl.Output("o1", x)
+			nl.Output("o2", y)
+		}
+		return nl
+	}
+	base := build(false, false).ContentHash()
+	if base == build(true, false).ContentHash() {
+		t.Fatalf("input order swap did not change the digest")
+	}
+	if base == build(false, true).ContentHash() {
+		t.Fatalf("output order swap did not change the digest")
+	}
+}
+
+// Different generator seeds produce different circuits, which must produce
+// different digests (the cache must not alias them).
+func TestContentHashSeedDistinct(t *testing.T) {
+	seen := map[string]uint64{}
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		nl := itc99.Generate(itc99.GenConfig{
+			Name: "s", Inputs: 4, Outputs: 3, FFs: 6, LUTs: 10, Seed: seed,
+		})
+		h := nl.ContentHash().String()
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("seeds %d and %d collide on %s", prev, seed, h)
+		}
+		seen[h] = seed
+	}
+}
+
+// A LUT whose D/CE struct fields are zero must not alias node id 0: only
+// state elements serialise D and CE.
+func TestContentHashNoDCEAliasing(t *testing.T) {
+	build := func(extra bool) *netlist.Netlist {
+		nl := netlist.New("alias")
+		a := nl.Input("a")
+		b := nl.Input("b")
+		x := nl.LUT("x", 0x6, a, b)
+		if extra {
+			// Identical circuit; the LUT node's zero-valued D field points
+			// at node 0 either way and must not be hashed.
+			_ = 0
+		}
+		nl.Output("o", x)
+		return nl
+	}
+	if build(false).ContentHash() != build(true).ContentHash() {
+		t.Fatalf("digest unstable")
+	}
+}
+
+// Canon.Order and Canon.Index are inverse permutations covering every node.
+func TestCanonicalPermutation(t *testing.T) {
+	nl := itc99.Generate(itc99.GenConfig{
+		Name: "p", Inputs: 4, Outputs: 3, FFs: 6, LUTs: 10, Seed: 9, RAMs: 1,
+	})
+	c := nl.Canonical()
+	if len(c.Order) != len(nl.Nodes) || len(c.Index) != len(nl.Nodes) {
+		t.Fatalf("canon covers %d/%d nodes", len(c.Order), len(nl.Nodes))
+	}
+	for ci, id := range c.Order {
+		if int(c.Index[id]) != ci {
+			t.Fatalf("Order/Index not inverse at canonical %d (orig %d)", ci, id)
+		}
+	}
+	// Structurally equal netlists correspond node-for-node through their
+	// canonical orders.
+	nl2 := itc99.Generate(itc99.GenConfig{
+		Name: "q", Inputs: 4, Outputs: 3, FFs: 6, LUTs: 10, Seed: 9, RAMs: 1,
+	})
+	c2 := nl2.Canonical()
+	if c.Digest != c2.Digest {
+		t.Fatalf("equal circuits, unequal digests")
+	}
+	for ci := range c.Order {
+		if nl.Nodes[c.Order[ci]].Kind != nl2.Nodes[c2.Order[ci]].Kind {
+			t.Fatalf("canonical index %d maps to different kinds", ci)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Options struct {
 	// Router to use (shared across designs so occupancy accumulates); nil
 	// builds a fresh one.
 	Router *route.Router
+	// Contain confines cell-driven routing to the design's region (boundary
+	// branches to pads stay free): the resulting interior image is
+	// translation-invariant and capturable as a template. Containment makes
+	// routing strictly harder; callers should fall back to an unconstrained
+	// placement when it fails.
+	Contain bool
 }
 
 // cellsNeeded counts logic cells after LUT/FF packing.
@@ -217,6 +223,9 @@ func Place(dev *fabric.Device, nl *netlist.Netlist, opts Options) (*Design, erro
 	if err != nil {
 		return fail(err)
 	}
+	if opts.Contain {
+		containNets(dev, nets, region)
+	}
 	router := opts.Router
 	if router == nil {
 		router = route.NewRouter(dev)
@@ -374,12 +383,35 @@ func (d *Design) buildNets() ([]route.Net, error) {
 		nets = append(nets, route.Net{Name: d.NL.Nodes[drv].Name, Source: src, Sinks: sk})
 	}
 	// Deterministic order (map iteration is random): route big nets first.
-	sortNets(nets)
+	SortNets(nets)
 	return nets, nil
 }
 
-func sortNets(nets []route.Net) {
-	// Order by descending fanout, then name for determinism.
+// SortNets orders a routing problem the way the placer does — descending
+// fanout, then name. The warm-load and translation paths route boundary
+// nets through the same ordering so that the frames they produce are
+// reproducible and mutually bit-identical.
+// containNets bounds every cell-driven net to the region so its interior
+// routing cannot escape. Pad sinks of a bounded net are moved to the end of
+// the sink list: the net's tree stays fully region-contained while the
+// interior pin sinks are routed, so no interior path gets grafted onto an
+// out-of-region branch laid down for a pad.
+func containNets(dev *fabric.Device, nets []route.Net, region fabric.Rect) {
+	for i := range nets {
+		n := &nets[i]
+		if _, isPad := dev.PadOfNode(n.Source); isPad {
+			continue // input net: re-routed from its pad at every load
+		}
+		n.Bound = region
+		sort.SliceStable(n.Sinks, func(a, b int) bool {
+			_, padA := dev.PadOfNode(n.Sinks[a])
+			_, padB := dev.PadOfNode(n.Sinks[b])
+			return !padA && padB
+		})
+	}
+}
+
+func SortNets(nets []route.Net) {
 	sort.Slice(nets, func(i, j int) bool {
 		if len(nets[i].Sinks) != len(nets[j].Sinks) {
 			return len(nets[i].Sinks) > len(nets[j].Sinks)

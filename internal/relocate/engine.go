@@ -172,6 +172,13 @@ func (e *Engine) tick(minCycles int) error {
 	return nil
 }
 
+// Tick exposes the wait-point accounting to alternate relocation paths (the
+// facade's translation-based moves): pending batched frames flush, the port
+// time consumed since the last tick is converted into application clock
+// cycles, and the clock model steps — exactly as the cell-replication
+// procedures account their waits.
+func (e *Engine) Tick(minCycles int) error { return e.tick(minCycles) }
+
 // inputPlan describes one original input pin to be paralleled.
 type inputPlan struct {
 	pinLocal  int             // local id on both original and replica CLB

@@ -148,6 +148,41 @@ func (ft *FrameTool) sync() error {
 	return nil
 }
 
+// SyncDeclared refreshes the recovery shadow like Sync, but the caller
+// declares exactly which cells, nodes and pads its designer-path writes can
+// have changed, so the view sink updates by targeted deltas instead of the
+// dirty-frame sweep (a frame bit can affect nodes hex-reach columns away, so
+// the sweep re-derives far more than a small splice actually touched). The
+// declaration must be complete: an undeclared change would leave the derived
+// occupancy stale. The facade's warm-load path uses it — the template splice
+// knows its precise footprint.
+func (ft *FrameTool) SyncDeclared(cells []fabric.CellRef, nodes []fabric.NodeID, pads []fabric.PadRef) error {
+	g := ft.dev.Generation()
+	if g == ft.genSeen {
+		return nil
+	}
+	addrs := ft.dev.FramesChangedSince(ft.genSeen)
+	for _, addr := range addrs {
+		data, err := ft.dev.ReadFrame(addr.Major, addr.Minor)
+		if err != nil {
+			return err
+		}
+		ft.shadow.NoteOwned(addr, data)
+	}
+	ft.genSeen = g
+	if ft.sink != nil {
+		for _, ref := range cells {
+			ft.sink.CellTouched(ref)
+		}
+		ft.sink.NodesTouched(nodes...)
+		for _, p := range pads {
+			ft.sink.PadTouched(p)
+		}
+		ft.sink.Advanced()
+	}
+	return nil
+}
+
 // Port returns the configuration port.
 func (ft *FrameTool) Port() bitstream.Port { return ft.port }
 

@@ -18,6 +18,13 @@ type Net struct {
 	Name   string
 	Source fabric.NodeID
 	Sinks  []fabric.NodeID
+	// Bound, when non-empty, confines the paths to non-pad sinks inside the
+	// rectangle: every intermediate node must lie in a tile the rectangle
+	// contains. Paths to pad sinks are exempt (a pad sits on the device edge,
+	// outside any interior region). The template capture path sets it so a
+	// design's interior routing stays region-contained and therefore
+	// translation-invariant.
+	Bound fabric.Rect
 }
 
 // RoutedNet is a successfully routed net: a tree of nodes rooted at the
@@ -70,6 +77,13 @@ type Router struct {
 	dev *fabric.Device
 	// MaxIters bounds the negotiation rounds.
 	MaxIters int
+	// Greedy scales the A* heuristic. The admissible default (1) finds
+	// delay-optimal paths but, with the true lower bound sitting far below
+	// real per-tile cost, expands close to the whole bounding box per sink.
+	// Values above 1 trade optimality for focus — the warm-load and
+	// translation boundary patches use it: their few pad nets don't need
+	// delay-optimal trees, they need O(path) search. Zero means 1.
+	Greedy float64
 
 	adj [][]fabric.NodeID // lazy fanout cache, indexed by NodeID
 
@@ -317,9 +331,9 @@ var searchMargins = [...]int{3, 9, -1}
 // node to the sink, valid until the next search (it lives in reusable
 // scratch).
 func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
-	netIdx int32, presentFactor float64) ([]fabric.NodeID, error) {
+	netIdx int32, presentFactor float64, within *fabric.Rect) ([]fabric.NodeID, error) {
 	for _, margin := range searchMargins {
-		if path := r.searchOne(seeds, sink, netIdx, presentFactor, margin); path != nil {
+		if path := r.searchOne(seeds, sink, netIdx, presentFactor, margin, within); path != nil {
 			return path, nil
 		}
 	}
@@ -329,7 +343,7 @@ func (r *Router) routeOne(seeds []fabric.NodeID, sink fabric.NodeID,
 // searchOne is one bounded A* expansion; margin < 0 means unbounded. It
 // returns nil when the open set exhausts without reaching the sink.
 func (r *Router) searchOne(seeds []fabric.NodeID, sink fabric.NodeID,
-	netIdx int32, presentFactor float64, margin int) []fabric.NodeID {
+	netIdx int32, presentFactor float64, margin int, within *fabric.Rect) []fabric.NodeID {
 
 	// Pad sinks are reached through their candidate pre-pad wires.
 	var prePad []fabric.NodeID
@@ -373,11 +387,15 @@ func (r *Router) searchOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		maxC += margin
 	}
 
+	hPerTile := heuristicPerTile
+	if r.Greedy > 1 {
+		hPerTile *= r.Greedy
+	}
 	r.searchEpoch++
 	se := r.searchEpoch
 	r.q = r.q[:0]
 	for _, n := range seeds {
-		r.q.push(item{node: n, cost: 0, est: float64(r.tileOf(n).ManhattanDist(sinkTile)) * heuristicPerTile})
+		r.q.push(item{node: n, cost: 0, est: float64(r.tileOf(n).ManhattanDist(sinkTile)) * hPerTile})
 		r.best[n], r.bestAt[n] = 0, se
 		r.prev[n], r.prevAt[n] = fabric.InvalidNode, se
 	}
@@ -410,6 +428,9 @@ func (r *Router) searchOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		if bounded && (t.Row < minR || t.Row > maxR || t.Col < minC || t.Col > maxC) {
 			return
 		}
+		if within != nil && nxt != target && !within.Contains(t) {
+			return
+		}
 		// Nodes owned by another net cost extra (negotiation) instead of
 		// being forbidden outright.
 		penalty := 0.0
@@ -422,7 +443,7 @@ func (r *Router) searchOne(seeds []fabric.NodeID, sink fabric.NodeID,
 		}
 		r.best[nxt], r.bestAt[nxt] = c, se
 		r.prev[nxt], r.prevAt[nxt] = cur, se
-		est := c + float64(t.ManhattanDist(sinkTile))*heuristicPerTile
+		est := c + float64(t.ManhattanDist(sinkTile))*hPerTile
 		r.q.push(item{node: nxt, cost: c, est: est})
 	}
 
@@ -514,9 +535,17 @@ func (r *Router) routeNet(net Net, netIdx int32, presentFactor float64) (*Routed
 	r.treePrev[net.Source] = fabric.InvalidNode
 	seeds := append(r.seedBuf[:0], net.Source)
 	rn.Tree = append(rn.Tree, net.Source)
+	var within *fabric.Rect
+	if net.Bound.Area() > 0 {
+		within = &net.Bound
+	}
 	var slab []fabric.NodeID // backs every returned path; owned by the caller
 	for _, sink := range net.Sinks {
-		seg, err := r.routeOne(seeds, sink, netIdx, presentFactor)
+		w := within
+		if _, isPad := r.dev.PadOfNode(sink); isPad {
+			w = nil // boundary branch: pads live outside any interior bound
+		}
+		seg, err := r.routeOne(seeds, sink, netIdx, presentFactor, w)
 		if err != nil {
 			r.seedBuf = seeds
 			return nil, err

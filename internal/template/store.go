@@ -1,0 +1,137 @@
+package template
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Policy configures a Store.
+type Policy struct {
+	// Capacity bounds the number of templates held; when full, the least
+	// recently used entry is evicted. Zero or negative means unbounded.
+	Capacity int
+}
+
+// Stats counts cache outcomes. Hits/Misses/Stores/Evictions are maintained
+// by the store; Translations/Fallbacks are relocation outcomes noted by the
+// run-time manager (a translated move, or a design that had to fall back to
+// cell-by-cell replication).
+type Stats struct {
+	Hits, Misses, Stores, Evictions int
+	Translations, Fallbacks         int
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type entry struct {
+	key Key
+	t   *Template
+}
+
+// Store is a content-addressed template cache with LRU eviction. It is safe
+// for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used; values are *entry
+	entries map[Key]*list.Element
+	stats   Stats
+}
+
+// NewStore builds a store under the given policy.
+func NewStore(p Policy) *Store {
+	return &Store{cap: p.Capacity, lru: list.New(), entries: map[Key]*list.Element{}}
+}
+
+// Get looks a template up, counting a hit or miss and refreshing recency.
+func (s *Store) Get(k Key) (*Template, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).t, true
+}
+
+// Lookup is Get without the hit/miss accounting (recency still refreshes).
+// The relocation path uses it, so the hit-rate statistic keeps meaning
+// "fraction of loads served warm" rather than mixing in move lookups.
+func (s *Store) Lookup(k Key) (*Template, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[k]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).t, true
+}
+
+// Contains reports presence without touching stats or recency.
+func (s *Store) Contains(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[k]
+	return ok
+}
+
+// Put stores a template, returning the keys evicted to make room.
+func (s *Store) Put(k Key, t *Template) []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*entry).t = t
+		s.lru.MoveToFront(el)
+		return nil
+	}
+	s.entries[k] = s.lru.PushFront(&entry{key: k, t: t})
+	s.stats.Stores++
+	var evicted []Key
+	for s.cap > 0 && s.lru.Len() > s.cap {
+		back := s.lru.Back()
+		e := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.stats.Evictions++
+		evicted = append(evicted, e.key)
+	}
+	return evicted
+}
+
+// Len returns the number of cached templates.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// NoteTranslation records a relocation served by address translation.
+func (s *Store) NoteTranslation() {
+	s.mu.Lock()
+	s.stats.Translations++
+	s.mu.Unlock()
+}
+
+// NoteFallback records a relocation that fell back to cell replication.
+func (s *Store) NoteFallback() {
+	s.mu.Lock()
+	s.stats.Fallbacks++
+	s.mu.Unlock()
+}

@@ -144,6 +144,13 @@ type Config struct {
 	FillMin, FillMax float64
 	// MinIO/MaxIO bound the primary input and output counts (0 = 2..4).
 	MinIO, MaxIO int
+
+	// RepeatPool, when positive, draws that many (H, W, profile) combos up
+	// front and assigns every task one of them instead of a fresh draw:
+	// the repeat-heavy regime where a template cache pays off, since tasks
+	// sharing a pool entry share a circuit (same generator seed) and a
+	// region shape. Zero keeps streams byte-identical to earlier seeds.
+	RepeatPool int
 }
 
 // profileDefaults fills zero-valued profile knobs.
@@ -203,6 +210,33 @@ func Stream(cfg Config) []Task {
 	pcfg := cfg.profileDefaults()
 	tasks := make([]Task, cfg.N)
 	t := 0.0
+	if cfg.RepeatPool > 0 {
+		// Repeat-heavy regime: pool entries (shape + profile, hence circuit)
+		// are drawn once from the profile stream, then tasks pick from the
+		// pool. Arrival and service times still come from the arrival stream.
+		type combo struct {
+			h, w int
+			p    Profile
+		}
+		pool := make([]combo, cfg.RepeatPool)
+		for i := range pool {
+			h, w := cfg.drawSize(pr)
+			pool[i] = combo{h: h, w: w, p: pcfg.drawProfile(pr)}
+		}
+		for i := range tasks {
+			t += r.exp(cfg.MeanInterarrival)
+			c := pool[pr.intn(len(pool))]
+			tasks[i] = Task{
+				ID:      i + 1,
+				Arrival: t,
+				Service: r.exp(cfg.MeanService),
+				H:       c.h,
+				W:       c.w,
+				Profile: c.p,
+			}
+		}
+		return tasks
+	}
 	for i := range tasks {
 		t += r.exp(cfg.MeanInterarrival)
 		h, w := cfg.drawSize(r)

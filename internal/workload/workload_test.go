@@ -74,6 +74,56 @@ func TestBimodalSkew(t *testing.T) {
 	}
 }
 
+func TestRepeatPool(t *testing.T) {
+	cfg := Config{
+		Seed: 11, N: 400, MeanInterarrival: 2, MeanService: 5,
+		MinSide: 2, MaxSide: 6, RepeatPool: 5,
+	}
+	tasks := Stream(cfg)
+	type combo struct {
+		h, w int
+		seed uint64
+	}
+	distinct := map[combo]int{}
+	for _, tk := range tasks {
+		distinct[combo{tk.H, tk.W, tk.Profile.Seed}]++
+	}
+	if len(distinct) > 5 {
+		t.Fatalf("pool of 5 produced %d distinct (shape, circuit) combos", len(distinct))
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("pool degenerated to %d combos", len(distinct))
+	}
+	// Deterministic: same config, same stream.
+	again := Stream(cfg)
+	for i := range tasks {
+		if tasks[i] != again[i] {
+			t.Fatal("repeat-pool stream not deterministic")
+		}
+	}
+	// Arrivals stay monotone and sizes stay in bounds.
+	prev := 0.0
+	for _, tk := range tasks {
+		if tk.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = tk.Arrival
+		if tk.H < 2 || tk.H > 6 || tk.W < 2 || tk.W > 6 {
+			t.Fatalf("size %dx%d out of bounds", tk.H, tk.W)
+		}
+	}
+	// The pool knob must not perturb pool-off streams: zero-value config
+	// reproduces the same stream whether or not the field exists.
+	off := cfg
+	off.RepeatPool = 0
+	a, b := Stream(off), Stream(off)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pool-off stream not deterministic")
+		}
+	}
+}
+
 func TestFlowsStructure(t *testing.T) {
 	apps := Flows(FlowConfig{
 		Seed: 2, Apps: 4, FnsPerApp: 5, MinSide: 3, MaxSide: 6, MeanDuration: 10,

@@ -3,6 +3,7 @@ package rlm
 import (
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/template"
 )
 
 // PortKind selects the configuration interface.
@@ -25,6 +26,7 @@ type config struct {
 	appClockHz   float64
 	serialCommit bool
 	portFactory  func(*bitstream.Controller) bitstream.Port
+	tmplPolicy   *template.Policy
 }
 
 // Option configures a System at construction time.
@@ -59,6 +61,25 @@ func WithAppClock(hz float64) Option {
 // comparison and for debugging.
 func WithSerialCommit() Option {
 	return func(c *config) { c.serialCommit = true }
+}
+
+// WithTemplateCache enables the content-addressed template cache: cold
+// loads capture their pre-routed, translation-invariant frame image; a
+// later Load of a netlist hashing to the same circuit and region shape
+// takes the warm path (frame splicing plus boundary-net routing, zero
+// interior place/route), and whole-design relocations of cached designs
+// become address translation plus a boundary patch instead of cell-by-cell
+// replication. A nil policy leaves the cache off — behaviour is then
+// bit-identical to a system built without this option.
+//
+// Note the semantic trade the paper's replica path does not make: a
+// translated relocation re-initialises the design's storage elements at the
+// target (the frame image carries configuration, not state), whereas the
+// cell-by-cell procedure transfers live state. Designs whose state must
+// survive a move should be run on a cache-off system; RAM-bearing designs
+// always fall back to the replica path (which itself refuses them).
+func WithTemplateCache(p *template.Policy) Option {
+	return func(c *config) { c.tmplPolicy = p }
 }
 
 // WithPortModel substitutes a custom configuration port built over the

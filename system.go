@@ -34,6 +34,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/relocate"
 	"repro/internal/route"
+	"repro/internal/template"
 )
 
 // System is the live reconfigurable platform: device, configuration port,
@@ -51,6 +52,11 @@ type System struct {
 	pads    map[fabric.PadRef]bool
 	designs map[string]*place.Design
 	regions map[string]int // design name -> area allocation id
+
+	// tmpl is the content-addressed template cache (nil = disabled): cold
+	// loads capture pre-routed frame images, warm loads splice them back,
+	// and relocations of cached designs go by address translation.
+	tmpl *template.Store
 
 	// cps is the stack of armed checkpoints; mutating operations journal
 	// inverse host-book-keeping ops into each of them (first-touch, so a
@@ -101,6 +107,10 @@ func New(opts ...Option) (*System, error) {
 		eng.AppClockHz = cfg.appClockHz
 	}
 	eng.Tool.Serial = cfg.serialCommit
+	var tmpl *template.Store
+	if cfg.tmplPolicy != nil {
+		tmpl = template.NewStore(*cfg.tmplPolicy)
+	}
 	return &System{
 		dev:     dev,
 		ctrl:    ctrl,
@@ -111,6 +121,7 @@ func New(opts ...Option) (*System, error) {
 		pads:    map[fabric.PadRef]bool{},
 		designs: map[string]*place.Design{},
 		regions: map[string]int{},
+		tmpl:    tmpl,
 		subs:    map[int]chan Event{},
 	}, nil
 }
@@ -226,10 +237,24 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 		return nil, err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if s.tmpl != nil {
+		d, handled, err := s.tryWarmLoadLocked(nl, region)
+		if err != nil {
+			s.restoreLocked(snap, err)
+			return nil, err
+		}
+		if handled {
+			return d, nil
+		}
+		// Cache miss (or clean pre-write fallback): cold path below.
+	}
 	d, err := s.loadRaw(nl, region)
 	if err != nil {
 		s.restoreLocked(snap, err)
 		return nil, err
+	}
+	if s.tmpl != nil {
+		s.captureTemplateLocked(d)
 	}
 	return d, nil
 }
@@ -263,11 +288,26 @@ func (s *System) loadRaw(nl *netlist.Netlist, region fabric.Rect) (*place.Design
 	if err := s.engine.Tool.AwaitStream(); err != nil {
 		return nil, err
 	}
+	// With the template cache on, route region-contained first so the result
+	// is capturable; containment is strictly harder, so a failure falls back
+	// to the unconstrained placement (which simply won't be cached). The
+	// failed attempt wrote the same cells and pads the retry rewrites
+	// identically, and no PIPs: routing fails before route.Apply.
+	contain := s.tmpl != nil
 	d, err := place.Place(s.dev, nl, place.Options{
 		Region:      region,
 		ReservePads: s.pads, // Place reserves into this map directly
 		Router:      s.router,
+		Contain:     contain,
 	})
+	if err != nil && contain {
+		s.rebuildRouterLocked()
+		d, err = place.Place(s.dev, nl, place.Options{
+			Region:      region,
+			ReservePads: s.pads,
+			Router:      s.router,
+		})
+	}
 	if err != nil {
 		return nil, err // Place released its pad reservations itself
 	}
@@ -460,8 +500,20 @@ func (s *System) checkMoveLocked(name string, to fabric.Rect) error {
 }
 
 // moveRaw performs the physical relocation and book-keeping; the caller has
-// validated the move and owns rollback.
+// validated the move and owns rollback. With the template cache enabled and
+// a translation-safe image available, the move is served by address
+// translation (frame image re-targeted plus a boundary patch); otherwise it
+// falls through to the paper's cell-by-cell replication below.
 func (s *System) moveRaw(name string, to fabric.Rect) error {
+	if s.tmpl != nil {
+		handled, err := s.tryTranslateMoveLocked(name, to)
+		if err != nil {
+			return err
+		}
+		if handled {
+			return nil
+		}
+	}
 	d := s.designs[name]
 	// First-touch clone of the tables the relocation rewrites (Region,
 	// CellOf, SourceOf) into every armed checkpoint.
