@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-baseline cover lint
+.PHONY: test race bench bench-baseline cover lint fuzz
 
 test:
 	go build ./... && go test ./...
@@ -20,8 +20,17 @@ bench-baseline:
 	go run ./cmd/benchdiff parse bench.txt > BENCH_baseline.json
 	rm -f bench.txt
 
+# Mirrors the CI fuzz lane (keep the budgets in sync with
+# .github/workflows/ci.yml): the checked-in seed corpus first as plain
+# tests, then a budgeted fuzz of the facade-op driver and the journal
+# scanner.
+fuzz:
+	go test -run 'Fuzz' repro repro/internal/journal
+	go test -run '^$$' -fuzz 'FuzzFacadeOps' -fuzztime 60s -fuzzminimizetime 10s repro
+	go test -run '^$$' -fuzz 'FuzzJournalScan' -fuzztime 30s -fuzzminimizetime 10s repro/internal/journal
+
 # Mirrors the CI lint lane; falls back to go vet when staticcheck is not on
-# PATH (install: go install honnef.co/go/tools/cmd/staticcheck@2023.1.7).
+# PATH (install: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1).
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \

@@ -6,6 +6,7 @@ package rlm
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -797,4 +798,89 @@ func BenchmarkAblationDeviceScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = measure(fabric.XCV50)
 	}
+}
+
+// --- Durable state: crash recovery ---------------------------------------
+
+// BenchmarkRecoverFromJournal measures host crash recovery end to end: a
+// journaled facade workout is crashed at its last post boundary (shift
+// landed, seal lost — the roll-forward case, which reads back every dirty
+// frame for the digest comparison), and each iteration reconciles the
+// journal tail against a rebuilt device and reinstates the full host state.
+// recover_ms rides through benchdiff as an informational column.
+func BenchmarkRecoverFromJournal(b *testing.B) {
+	dir := b.TempDir()
+	jpath := dir + "/op.journal"
+	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mirror := map[fabric.FrameAddr][]uint32{}
+	sys.onDelivered = func(updates []bitstream.FrameUpdate) {
+		for _, u := range updates {
+			mirror[u.Addr] = append([]uint32(nil), u.Data...)
+		}
+	}
+	var crash *crashPoint
+	sys.crashHook = func(stage string) {
+		if stage != "post" {
+			return
+		}
+		data, err := os.ReadFile(jpath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if off := sys.jrnl.j.Offset(); int64(len(data)) > off {
+			data = data[:off]
+		}
+		crash = &crashPoint{stage: stage, seq: sys.jrnl.seq,
+			jdata: append([]byte(nil), data...), frames: cloneFrames(mirror)}
+	}
+	b01, err := itc99.Get("b01")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Load(b01, fabric.Rect{Row: 0, Col: 0, H: 4, W: 4}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Load(mkCounter("c1"), fabric.Rect{Row: 0, Col: 8, H: 2, W: 2}); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Move("c1", fabric.Rect{Row: 6, Col: 10, H: 2, W: 2}); err != nil {
+		b.Fatal(err)
+	}
+	if crash == nil {
+		b.Fatal("no post boundary fired")
+	}
+	rebuild := func() (*fabric.Device, string) {
+		path := dir + "/crash.journal"
+		if err := os.WriteFile(path, crash.jdata, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		dev := fabric.NewDevice(fabric.TestDevice)
+		for addr, words := range crash.frames {
+			if err := dev.WriteFrame(addr.Major, addr.Minor, words); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return dev, path
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var framesChecked int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dev, path := rebuild()
+		b.StartTimer()
+		_, rep, err := Recover(dev, path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Action != "rolled-forward" {
+			b.Fatalf("action = %q, want rolled-forward", rep.Action)
+		}
+		framesChecked = rep.FramesChecked
+	}
+	b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "recover_ms")
+	b.ReportMetric(float64(framesChecked), "frames_checked")
 }

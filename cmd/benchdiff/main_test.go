@@ -192,3 +192,44 @@ func TestParseCustomMetricUnits(t *testing.T) {
 		t.Fatalf("metrics mis-parsed: %v", m)
 	}
 }
+
+// TestRecoverMetricsRideThrough pins the crash-recovery bench lane:
+// BenchmarkRecoverFromJournal reports recover_ms and frames_checked as
+// custom units, and both must survive parse and render through compare as
+// informational columns — a recovery slowdown shows up in the PR table
+// without gating the run.
+func TestRecoverMetricsRideThrough(t *testing.T) {
+	in := "pkg: repro\n" +
+		"BenchmarkRecoverFromJournal-8 31 5018286 ns/op 33.00 frames_checked 5.018 recover_ms\n"
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := index(doc)
+	rec, ok := by["repro.BenchmarkRecoverFromJournal"]
+	if !ok {
+		t.Fatalf("recover lane missing: %v", sortedKeys(by))
+	}
+	if rec.Metrics["recover_ms"] != 5.018 || rec.Metrics["frames_checked"] != 33 {
+		t.Fatalf("recover metrics mis-parsed: %v", rec.Metrics)
+	}
+	// Recovery cost triples in a later run: the movement renders in the
+	// table but must never gate — recover_ms is informational by design.
+	cur := map[string]Benchmark{}
+	for k, b := range by {
+		c := b
+		c.Metrics = map[string]float64{"recover_ms": 15.3, "frames_checked": 33}
+		cur[k] = c
+	}
+	var out strings.Builder
+	gating, info := compareDocs(by, cur, 0.20, 0.10, false, &out)
+	if len(gating) != 0 || len(info) != 0 {
+		t.Fatalf("recover_ms movement must not gate: gating %v, info %v", gating, info)
+	}
+	text := out.String()
+	for _, want := range []string{"recover_ms", "frames_checked", "informational"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, text)
+		}
+	}
+}

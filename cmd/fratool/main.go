@@ -10,6 +10,13 @@
 //	fratool -device XCV200 -design b03 -from R3C4 -to R10C12
 //	fratool -device XCV50  -design b01 -move-region 8,8
 //	fratool -list-benchmarks
+//
+// The trace subcommand batch-ingests recorded schedsim task traces
+// (see schedsim -record): it validates each input, prints a summary, and
+// with -o merges them into one arrival-ordered trace for replay:
+//
+//	fratool trace night1.trace night2.trace
+//	fratool trace -o merged.trace night1.trace night2.trace
 package main
 
 import (
@@ -24,9 +31,14 @@ import (
 	"repro/internal/jtag"
 	"repro/internal/sim"
 	"repro/internal/template"
+	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceCmd(os.Args[2:])
+		return
+	}
 	var (
 		deviceName = flag.String("device", "XCV200", "device preset: TEST12x8, XCV50, XCV200, XCV800")
 		designName = flag.String("design", "", "ITC'99 benchmark to load (b01..b14)")
@@ -225,6 +237,38 @@ func parseCoord(s string) (fabric.Coord, error) {
 		return c, fmt.Errorf("bad coordinate %q (want RnCm): %v", s, err)
 	}
 	return c, nil
+}
+
+// traceCmd is the batch-ingest path for recorded workload traces: validate
+// and summarise every input, and with -o merge them (arrival-ordered,
+// re-numbered) into a single trace schedsim -replay can consume. The merge
+// semantics live in internal/workload (MergeTraces); this is only the CLI.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("fratool trace", flag.ExitOnError)
+	out := fs.String("o", "", "write the merged trace to this file (omit to only validate and summarise)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "fratool trace: no input traces (usage: fratool trace [-o merged.trace] FILE...)")
+		os.Exit(2)
+	}
+	var traces []*workload.Trace
+	for _, path := range fs.Args() {
+		tr, err := workload.LoadTrace(path)
+		fail(err)
+		last := 0.0
+		if n := len(tr.Tasks); n > 0 {
+			last = tr.Tasks[n-1].Arrival
+		}
+		fmt.Printf("%-30s v%d %-12q %5d tasks over %8.1f s\n", path, tr.Version, tr.Label, len(tr.Tasks), last)
+		traces = append(traces, tr)
+	}
+	if *out == "" {
+		return
+	}
+	merged, err := workload.MergeTraces(traces...)
+	fail(err)
+	fail(workload.SaveTrace(*out, merged))
+	fmt.Printf("merged %d traces -> %s (%d tasks)\n", len(traces), *out, len(merged.Tasks))
 }
 
 func fail(err error) {

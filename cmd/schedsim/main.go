@@ -55,6 +55,8 @@ func main() {
 		scenario   = flag.String("scenario", "", "run only the named scenario of the matrix (scenarios)")
 		tmpl       = flag.Int("tmpl", 0, "template cache capacity: warm loads + relocation-by-translation (0 = off; -fabric/scenarios)")
 		pool       = flag.Int("pool", 0, "repeat-pool size: tasks draw shape+circuit from this many combos (0 = fresh draws)")
+		record     = flag.String("record", "", "save the task stream to this trace file (defrag/policies)")
+		replay     = flag.String("replay", "", "replay the task stream from this trace file instead of generating one (defrag/policies)")
 	)
 	flag.Parse()
 
@@ -87,21 +89,22 @@ func main() {
 				*tasks = 40
 			}
 		}
+		stream := resolveStream(*record, *replay, *tasks, *seed, *load, *pool)
 		if *useFabric {
 			preset, ok := fabric.PresetByName(*deviceName)
 			if !ok {
 				fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
 				os.Exit(2)
 			}
-			defragFabric(preset, *tasks, *seed, *load, *verify, *events, *tmpl, *pool)
+			defragFabric(preset, stream, *load, *verify, *events, *tmpl)
 		} else {
-			defrag(*rows, *cols, *tasks, *seed, *load, *pool)
+			defrag(*rows, *cols, stream, *load)
 		}
 	case "policies":
 		if *tasks == 0 {
 			*tasks = 400
 		}
-		policies(*rows, *cols, *tasks, *seed, *load, *pool)
+		policies(*rows, *cols, resolveStream(*record, *replay, *tasks, *seed, *load, *pool))
 	default:
 		fmt.Fprintf(os.Stderr, "schedsim: unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -132,13 +135,43 @@ func fig1(rows, cols int, seed uint64) {
 	}
 }
 
-func taskStream(tasks int, seed uint64, load float64, pool int) []workload.Task {
-	return workload.Stream(workload.Config{
+func taskStreamConfig(tasks int, seed uint64, load float64, pool int) workload.Config {
+	return workload.Config{
 		Seed: seed, N: tasks,
 		MeanInterarrival: 1.0 / load, MeanService: 6.0,
 		MinSide: 3, MaxSide: 10, Dist: workload.Bimodal,
 		RepeatPool: pool,
-	})
+	}
+}
+
+// resolveStream produces the task stream for the defrag/policies experiments:
+// generated from the CLI knobs, or replayed verbatim from a recorded trace
+// (-replay, which then ignores -tasks/-seed/-pool), and optionally recorded
+// to a trace file (-record) for later replay or batch ingest via
+// "fratool trace".
+func resolveStream(record, replay string, tasks int, seed uint64, load float64, pool int) []workload.Task {
+	var stream []workload.Task
+	var cfg *workload.Config
+	if replay != "" {
+		tr, err := workload.LoadTrace(replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		stream, cfg = tr.Tasks, tr.Config
+		fmt.Printf("replaying %d tasks from %s (%s)\n", len(stream), replay, tr.Label)
+	} else {
+		c := taskStreamConfig(tasks, seed, load, pool)
+		stream, cfg = workload.Stream(c), &c
+	}
+	if record != "" {
+		if err := workload.SaveTrace(record, workload.NewTrace("schedsim", cfg, stream)); err != nil {
+			fmt.Fprintln(os.Stderr, "schedsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d tasks to %s\n", len(stream), record)
+	}
+	return stream
 }
 
 func printMetricsHeader() {
@@ -154,9 +187,8 @@ func printMetrics(planner rearrange.Planner, m sched.Metrics) {
 
 // defrag reproduces the defragmentation study: allocation rate and waiting
 // time for the same task stream with three rearrangement strategies.
-func defrag(rows, cols, tasks int, seed uint64, load float64, pool int) {
-	stream := taskStream(tasks, seed, load, pool)
-	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, tasks, load)
+func defrag(rows, cols int, stream []workload.Task, load float64) {
+	fmt.Printf("Defragmentation study — %dx%d CLBs, %d tasks, load %.2f/s\n", rows, cols, len(stream), load)
 	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
 		rearrange.None{}, rearrange.OrderedCompaction{}, rearrange.LocalRepacking{},
@@ -171,10 +203,9 @@ func defrag(rows, cols, tasks int, seed uint64, load float64, pool int) {
 
 // defragFabric runs the same schedule against a live System: real designs,
 // real relocations, same Metrics schema.
-func defragFabric(preset fabric.Preset, tasks int, seed uint64, load float64, verify, events bool, tmplCap, pool int) {
-	stream := taskStream(tasks, seed, load, pool)
+func defragFabric(preset fabric.Preset, stream []workload.Task, load float64, verify, events bool, tmplCap int) {
 	fmt.Printf("Defragmentation study on live fabric — %s (%dx%d CLBs), %d tasks, load %.2f/s, verify=%v\n",
-		preset.Name, preset.Rows, preset.Cols, tasks, load, verify)
+		preset.Name, preset.Rows, preset.Cols, len(stream), load, verify)
 	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
 		rearrange.None{}, rearrange.LocalRepacking{},
@@ -262,9 +293,8 @@ func printTemplateStats(sys *rlm.System) {
 }
 
 // policies compares the allocation policies under one planner.
-func policies(rows, cols, tasks int, seed uint64, load float64, pool int) {
-	stream := taskStream(tasks, seed, load, pool)
-	fmt.Printf("Placement-policy study — %dx%d CLBs, %d tasks\n", rows, cols, tasks)
+func policies(rows, cols int, stream []workload.Task) {
+	fmt.Printf("Placement-policy study — %dx%d CLBs, %d tasks\n", rows, cols, len(stream))
 	fmt.Printf("%-14s %-10s %-12s %-12s\n", "policy", "alloc", "mean-wait", "frag(mean)")
 	for _, p := range []area.Policy{area.FirstFit, area.BestFit, area.BottomLeft} {
 		s := sched.NewSimulator(sched.Config{

@@ -1,0 +1,462 @@
+package rlm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+	"repro/internal/itc99"
+	"repro/internal/journal"
+	"repro/internal/relocate"
+)
+
+// hostState is everything the crash-consistency property compares: the full
+// configuration image plus all host book-keeping and accounting.
+type hostState struct {
+	frames   map[fabric.FrameAddr][]uint32
+	designs  map[string]string
+	regions  map[string]int
+	pads     string
+	areaMap  string
+	allocs   string
+	stats    relocate.Stats
+	cycles   uint64
+	lastTick float64
+}
+
+func dumpFrames(dev *fabric.Device) map[fabric.FrameAddr][]uint32 {
+	out := map[fabric.FrameAddr][]uint32{}
+	for major := 0; major < dev.NumMajors(); major++ {
+		col, ok := dev.ColumnByMajor(major)
+		if !ok {
+			continue
+		}
+		for minor := 0; minor < col.Frames; minor++ {
+			fr, err := dev.ReadFrame(major, minor)
+			if err != nil {
+				continue
+			}
+			out[fabric.FrameAddr{Major: major, Minor: minor}] = fr
+		}
+	}
+	return out
+}
+
+func captureState(s *System) hostState {
+	st := hostState{
+		frames:   dumpFrames(s.dev),
+		designs:  map[string]string{},
+		regions:  map[string]int{},
+		areaMap:  s.area.String(),
+		stats:    s.engine.Stats,
+		lastTick: s.engine.LastTick(),
+	}
+	// PlanSeconds is wall-clock host time, and the overlapped/serial
+	// counters depend on how far the background shift-out happened to get
+	// when planning started — all three journal and recover faithfully, but
+	// two runs of the same script legitimately differ, so the twin
+	// comparison masks them. Everything else is bit-compared.
+	st.stats.PlanSeconds = 0
+	st.stats.OverlappedOps = 0
+	st.stats.SerialFallbacks = 0
+	for name, d := range s.designs {
+		st.designs[name] = fmt.Sprintf("%v|%v|%v|%v", d.Region, d.CellOf, d.PadOf, d.SourceOf)
+		st.regions[name] = s.regions[name]
+	}
+	st.pads = fmt.Sprint(s.pads)
+	al, next := s.area.Export()
+	st.allocs = fmt.Sprintf("%v next=%d", al, next)
+	if cp, ok := s.port.(cyclePort); ok {
+		st.cycles = cp.Cycles()
+	}
+	return st
+}
+
+func diffStates(got, want hostState) []string {
+	var diffs []string
+	for addr, w := range want.frames {
+		g, ok := got.frames[addr]
+		if !ok || !frameWordsEqual(g, w) {
+			diffs = append(diffs, fmt.Sprintf("frame %v differs", addr))
+		}
+	}
+	for addr := range got.frames {
+		if _, ok := want.frames[addr]; !ok {
+			diffs = append(diffs, fmt.Sprintf("extra frame %v", addr))
+		}
+	}
+	if len(got.designs) != len(want.designs) {
+		diffs = append(diffs, fmt.Sprintf("designs: got %v, want %v", keys(got.designs), keys(want.designs)))
+	}
+	for name, w := range want.designs {
+		if got.designs[name] != w {
+			diffs = append(diffs, fmt.Sprintf("design %q book-keeping differs:\n got %s\nwant %s", name, got.designs[name], w))
+		}
+		if got.regions[name] != want.regions[name] {
+			diffs = append(diffs, fmt.Sprintf("design %q alloc id %d, want %d", name, got.regions[name], want.regions[name]))
+		}
+	}
+	if got.pads != want.pads {
+		diffs = append(diffs, fmt.Sprintf("pads: got %s, want %s", got.pads, want.pads))
+	}
+	if got.areaMap != want.areaMap {
+		diffs = append(diffs, fmt.Sprintf("area map:\n%s\nwant:\n%s", got.areaMap, want.areaMap))
+	}
+	if got.allocs != want.allocs {
+		diffs = append(diffs, fmt.Sprintf("allocs: got %s, want %s", got.allocs, want.allocs))
+	}
+	if got.stats != want.stats {
+		diffs = append(diffs, fmt.Sprintf("stats: got %+v, want %+v", got.stats, want.stats))
+	}
+	if got.cycles != want.cycles {
+		diffs = append(diffs, fmt.Sprintf("port cycles: got %d, want %d", got.cycles, want.cycles))
+	}
+	if got.lastTick != want.lastTick {
+		diffs = append(diffs, fmt.Sprintf("last tick: got %v, want %v", got.lastTick, want.lastTick))
+	}
+	return diffs
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// crashPoint is one simulated crash: the journal bytes that had reached
+// stable storage and the configuration the port had delivered to the fabric.
+type crashPoint struct {
+	stage  string
+	seq    uint64
+	jdata  []byte
+	frames map[fabric.FrameAddr][]uint32
+}
+
+func cloneFrames(src map[fabric.FrameAddr][]uint32) map[fabric.FrameAddr][]uint32 {
+	out := make(map[fabric.FrameAddr][]uint32, len(src))
+	for a, w := range src {
+		out[a] = append([]uint32(nil), w...)
+	}
+	return out
+}
+
+func deviceFromFrames(t *testing.T, frames map[fabric.FrameAddr][]uint32) *fabric.Device {
+	t.Helper()
+	dev := fabric.NewDevice(fabric.TestDevice)
+	for addr, words := range frames {
+		if err := dev.WriteFrame(addr.Major, addr.Minor, words); err != nil {
+			t.Fatalf("rebuilding device frame %v: %v", addr, err)
+		}
+	}
+	return dev
+}
+
+// crashScript is the deterministic facade workout both twins run: every
+// journaled operation kind appears (load, move, plan, move-staged,
+// defragmentation slides, unload via plan).
+func crashScript(t *testing.T, s *System) {
+	t.Helper()
+	b01, err := itc99.Get("b01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b02, err := itc99.Get("b02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []func() error{
+		func() error { _, err := s.Load(b01, fabric.Rect{Row: 0, Col: 0, H: 4, W: 4}); return err },
+		func() error { _, err := s.Load(mkCounter("c1"), fabric.Rect{Row: 0, Col: 8, H: 2, W: 2}); return err },
+		func() error { _, err := s.Load(b02, fabric.Rect{Row: 4, Col: 0, H: 4, W: 4}); return err },
+		func() error { return s.Move("c1", fabric.Rect{Row: 6, Col: 10, H: 2, W: 2}) },
+		func() error {
+			return s.Plan().
+				Unload("b01").
+				Move("b02", fabric.Rect{Row: 0, Col: 4, H: 4, W: 4}).
+				Commit()
+		},
+		func() error { return s.MoveStaged("c1", fabric.Rect{Row: 0, Col: 10, H: 2, W: 2}, 3) },
+		func() error { _, err := s.Defragment(DefragPolicy{}); return err },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatalf("script step %d: %v", i, err)
+		}
+	}
+}
+
+// TestCrashConsistency is the tentpole property test: a journaled system is
+// "crashed" at every journal/flush boundary of a full facade workout, each
+// crash is recovered from the journal prefix plus the port-delivered
+// configuration, and the reconciled system must be bit-identical — frames,
+// book-keeping, TCK accounting — to a never-crashed twin at the operation
+// boundary the decision table selects. Run with -race.
+func TestCrashConsistency(t *testing.T) {
+	dir := t.TempDir()
+
+	// The never-crashed twin: journaled too (identical code path), its state
+	// captured at every commit seal, keyed by operation sequence number.
+	twin, err := New(WithDevice(fabric.TestDevice), WithJournal(filepath.Join(dir, "twin.journal")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := map[uint64]hostState{0: captureState(twin)}
+	twin.crashHook = func(stage string) {
+		if stage == "commit" {
+			oracle[twin.jrnl.seq] = captureState(twin)
+		}
+	}
+	crashScript(t, twin)
+	final := captureState(twin)
+
+	// The crash victim: mirror every delivered frame (the harness's model of
+	// what the real fabric holds) and capture journal prefix + mirror at
+	// every boundary.
+	jpath := filepath.Join(dir, "op.journal")
+	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := map[fabric.FrameAddr][]uint32{}
+	sys.onDelivered = func(updates []bitstream.FrameUpdate) {
+		for _, u := range updates {
+			mirror[u.Addr] = append([]uint32(nil), u.Data...)
+		}
+	}
+	var captures []crashPoint
+	sys.crashHook = func(stage string) {
+		data, err := os.ReadFile(jpath)
+		if err != nil {
+			t.Fatalf("reading journal at %s boundary: %v", stage, err)
+		}
+		if off := sys.jrnl.j.Offset(); int64(len(data)) > off {
+			data = data[:off]
+		}
+		captures = append(captures, crashPoint{
+			stage:  stage,
+			seq:    sys.jrnl.seq,
+			jdata:  append([]byte(nil), data...),
+			frames: cloneFrames(mirror),
+		})
+	}
+	crashScript(t, sys)
+	if len(captures) == 0 {
+		t.Fatal("no crash boundaries fired")
+	}
+
+	stages := map[string]int{}
+	actions := map[string]int{}
+	for i, cp := range captures {
+		stages[cp.stage]++
+		path := filepath.Join(dir, fmt.Sprintf("crash-%03d.journal", i))
+		if err := os.WriteFile(path, cp.jdata, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dev := deviceFromFrames(t, cp.frames)
+		rec, rep, err := Recover(dev, path)
+		if err != nil {
+			t.Fatalf("capture %d (%s, seq %d): recover: %v", i, cp.stage, cp.seq, err)
+		}
+		var wantAction string
+		var want hostState
+		switch cp.stage {
+		case "post":
+			wantAction, want = "rolled-forward", oracle[cp.seq]
+		case "commit":
+			wantAction, want = "clean", oracle[cp.seq]
+		case "begin", "undo", "delivered":
+			wantAction, want = "rolled-back", oracle[cp.seq-1]
+		default:
+			t.Fatalf("capture %d: unknown stage %q", i, cp.stage)
+		}
+		if rep.Action != wantAction {
+			t.Errorf("capture %d (%s, seq %d): action %q, want %q", i, cp.stage, cp.seq, rep.Action, wantAction)
+		}
+		actions[rep.Action]++
+		if diffs := diffStates(captureState(rec), want); len(diffs) > 0 {
+			t.Fatalf("capture %d (%s, seq %d, %s): recovered state diverges from twin:\n%s",
+				i, cp.stage, cp.seq, rep.Action, diffs[0])
+		}
+		// Recovery leaves the journal sealed: a second recovery (idempotence)
+		// must be clean and land on the same state.
+		dev2 := deviceFromFrames(t, dumpFrames(rec.dev))
+		rec2, rep2, err := Recover(dev2, path)
+		if err != nil {
+			t.Fatalf("capture %d: re-recover: %v", i, err)
+		}
+		if rep2.Action != "clean" {
+			t.Errorf("capture %d: re-recover action %q, want clean", i, rep2.Action)
+		}
+		if diffs := diffStates(captureState(rec2), want); len(diffs) > 0 {
+			t.Fatalf("capture %d: re-recovered state diverges: %s", i, diffs[0])
+		}
+	}
+	// The decision table must have been exercised both ways.
+	if actions["rolled-forward"] == 0 || actions["rolled-back"] == 0 {
+		t.Fatalf("decision table not fully exercised: %v (stages %v)", actions, stages)
+	}
+	// And the uncrashed victim ends bit-identical to the twin.
+	if diffs := diffStates(captureState(sys), final); len(diffs) > 0 {
+		t.Fatalf("victim and twin diverge without any crash: %s", diffs[0])
+	}
+}
+
+// TestRecoverContinuesJournaling recovers the final state of a scripted run
+// and checks the recovered system is live: further operations journal onto
+// the sealed file with correct sequence numbering and survive a re-recovery.
+func TestRecoverContinuesJournaling(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "op.journal")
+	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashScript(t, sys)
+	want := captureState(sys)
+
+	dev := deviceFromFrames(t, dumpFrames(sys.dev))
+	rec, rep, err := Recover(dev, jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "clean" {
+		t.Fatalf("action = %q, want clean", rep.Action)
+	}
+	if diffs := diffStates(captureState(rec), want); len(diffs) > 0 {
+		t.Fatalf("recovered state diverges: %s", diffs[0])
+	}
+	if _, err := rec.Load(mkCounter("after"), fabric.Rect{Row: 6, Col: 0, H: 2, W: 2}); err != nil {
+		t.Fatalf("post-recovery load: %v", err)
+	}
+	// The continued journal recovers again, with the new op committed.
+	dev2 := deviceFromFrames(t, dumpFrames(rec.dev))
+	rec2, rep2, err := Recover(dev2, jpath)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if rep2.Action != "clean" {
+		t.Errorf("second recovery action = %q, want clean", rep2.Action)
+	}
+	if _, ok := rec2.Design("after"); !ok {
+		t.Error("post-recovery op lost by second recovery")
+	}
+	if rep2.Seq <= rep.Seq {
+		t.Errorf("sequence did not advance: %d -> %d", rep.Seq, rep2.Seq)
+	}
+}
+
+// TestRecoverTornTail tears the journal mid-record at a post boundary: the
+// post state is lost, so recovery must fall back to roll-back.
+func TestRecoverTornTail(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "op.journal")
+	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := map[fabric.FrameAddr][]uint32{}
+	sys.onDelivered = func(updates []bitstream.FrameUpdate) {
+		for _, u := range updates {
+			mirror[u.Addr] = append([]uint32(nil), u.Data...)
+		}
+	}
+	oracle := map[uint64]hostState{0: captureState(sys)}
+	var atPost *crashPoint
+	sys.crashHook = func(stage string) {
+		if stage == "commit" {
+			oracle[sys.jrnl.seq] = captureState(sys)
+		}
+		if stage != "post" || atPost != nil || sys.jrnl.seq != 2 {
+			return
+		}
+		data, err := os.ReadFile(jpath)
+		if err != nil {
+			t.Fatalf("reading journal: %v", err)
+		}
+		atPost = &crashPoint{seq: sys.jrnl.seq, jdata: append([]byte(nil), data...), frames: cloneFrames(mirror)}
+	}
+	crashScript(t, sys)
+	if atPost == nil {
+		t.Fatal("post boundary of op 2 never fired")
+	}
+	// Tear the final (post) record's payload.
+	path := filepath.Join(dir, "torn.journal")
+	if err := os.WriteFile(path, atPost.jdata[:len(atPost.jdata)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, rep, err := Recover(deviceFromFrames(t, atPost.frames), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Action != "rolled-back" {
+		t.Errorf("action = %q, want rolled-back (post record torn away)", rep.Action)
+	}
+	if diffs := diffStates(captureState(rec), oracle[atPost.seq-1]); len(diffs) > 0 {
+		t.Fatalf("recovered state diverges from pre-op twin: %s", diffs[0])
+	}
+}
+
+// TestRecoverTypedErrors covers the refusal paths: empty journal, mid-file
+// corruption, device-geometry mismatch, and a journal whose committed designs
+// the device readback no longer shows.
+func TestRecoverTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "op.journal")
+	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Load(mkCounter("c1"), fabric.Rect{Row: 0, Col: 0, H: 2, W: 2}); err != nil {
+		t.Fatal(err)
+	}
+	goodDev := deviceFromFrames(t, dumpFrames(sys.dev))
+
+	t.Run("empty", func(t *testing.T) {
+		empty := filepath.Join(dir, "empty.journal")
+		if err := os.WriteFile(empty, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Recover(goodDev, empty); !errors.Is(err, journal.ErrEmpty) {
+			t.Errorf("empty journal: %v, want ErrEmpty", err)
+		}
+	})
+	t.Run("corrupt", func(t *testing.T) {
+		data, err := os.ReadFile(jpath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(journal.Magic)+10] ^= 0x01 // inside the init record's payload
+		bad := filepath.Join(dir, "corrupt.journal")
+		if err := os.WriteFile(bad, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Recover(goodDev, bad); !errors.Is(err, journal.ErrChecksum) {
+			t.Errorf("corrupt journal: %v, want ErrChecksum", err)
+		}
+	})
+	t.Run("geometry-mismatch", func(t *testing.T) {
+		wrong := fabric.NewDevice(fabric.XCV50)
+		if _, _, err := Recover(wrong, jpath); !errors.Is(err, ErrDeviceMismatch) {
+			t.Errorf("wrong device: %v, want ErrDeviceMismatch", err)
+		}
+	})
+	t.Run("design-vanished", func(t *testing.T) {
+		// Same geometry, but the fabric shows none of the journaled design's
+		// cells (e.g. the device was power-cycled while the host was down).
+		blank := fabric.NewDevice(fabric.TestDevice)
+		if _, _, err := Recover(blank, jpath); !errors.Is(err, ErrDeviceMismatch) {
+			t.Errorf("blank device: %v, want ErrDeviceMismatch", err)
+		}
+	})
+	t.Run("journal-exists", func(t *testing.T) {
+		if _, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath)); !errors.Is(err, journal.ErrExists) {
+			t.Errorf("New over history: %v, want ErrExists", err)
+		}
+	})
+}

@@ -105,6 +105,14 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		return nil, err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	// One journal op spans every candidate: a rolled-back candidate's undo
+	// records stay valid (its rollback restores the checkpoint state the
+	// pre-images were taken against), so a crash anywhere in the retry loop
+	// rolls back to the pre-pass configuration.
+	if err := s.journalBeginLocked(snap, "defrag-need", "", fabric.Rect{H: pol.NeedH, W: pol.NeedW},
+		fmt.Sprintf("planner=%s", pol.Planner.Name())); err != nil {
+		return nil, err
+	}
 	var lastErr error
 	for _, plan := range candidates {
 		rep.Attempts++
@@ -115,6 +123,9 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		err := s.executeDefragPlanLocked(plan, byID, pol.MaxStep, rep)
 		if err == nil {
 			err = s.engine.Tool.AwaitStream() // harvest before accepting the candidate
+		}
+		if err == nil {
+			err = s.journalCommitLocked()
 		}
 		if err != nil {
 			s.restoreLocked(snap, err)
@@ -127,6 +138,7 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		s.publish(Event{Kind: RearrangeFinished, Steps: len(plan.Steps), CLBs: rep.CellsRelocated})
 		return rep, nil
 	}
+	s.journalAbortLocked()
 	return nil, fmt.Errorf("rlm: all %d rearrangement plans failed physically, last: %w",
 		rep.Attempts, lastErr)
 }
@@ -173,6 +185,12 @@ func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Each slide is its own journal op: a completed slide must never be
+		// rolled back (see above), so it seals individually.
+		if err := s.journalBeginLocked(snap, "defrag-slide", name, st.To, ""); err != nil {
+			s.releaseCheckpointLocked(snap)
+			return nil, err
+		}
 		slideErr := s.defragStepLocked(name, st.To, pol.MaxStep)
 		if slideErr == nil {
 			// Each slide owns its checkpoint, so its stream is harvested
@@ -180,9 +198,13 @@ func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 			// roll the slide back any more).
 			slideErr = s.engine.Tool.AwaitStream()
 		}
+		if slideErr == nil {
+			slideErr = s.journalCommitLocked()
+		}
 		if slideErr != nil {
 			rep.Attempts++
 			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, slideErr))
+			s.journalAbortLocked()
 		} else {
 			rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
 			rep.CLBsMoved += from.Area()

@@ -9,6 +9,7 @@ package area
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/fabric"
@@ -427,6 +428,63 @@ func (m *Manager) CopyFrom(src *Manager) {
 		m.allocs[id] = r
 	}
 	m.next = src.next
+}
+
+// Alloc is one allocation in an exported occupancy snapshot.
+type Alloc struct {
+	ID   int
+	Rect fabric.Rect
+}
+
+// Export returns every live allocation (sorted by id) plus the next-id
+// counter — the serialisable occupancy state the journal persists. Restoring
+// the counter keeps allocation ids deterministic across a crash, which the
+// rearrangement planners rely on.
+func (m *Manager) Export() ([]Alloc, int) {
+	out := make([]Alloc, 0, len(m.allocs))
+	for id, r := range m.allocs {
+		out = append(out, Alloc{ID: id, Rect: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, m.next
+}
+
+// Restore overwrites the manager with an exported occupancy state, in place
+// (pointer holders see the restored state, as with CopyFrom). Overlapping or
+// out-of-bounds allocations are rejected; like CopyFrom it must not be
+// called with outstanding marks.
+func (m *Manager) Restore(allocs []Alloc, next int) error {
+	if m.marks > 0 {
+		return fmt.Errorf("area: Restore into a manager with outstanding marks")
+	}
+	occ := make([]int, m.Rows*m.Cols)
+	table := make(map[int]fabric.Rect, len(allocs))
+	for _, a := range allocs {
+		if a.ID <= 0 || a.ID >= next {
+			return fmt.Errorf("area: restore allocation id %d outside [1,%d)", a.ID, next)
+		}
+		if _, dup := table[a.ID]; dup {
+			return fmt.Errorf("area: restore duplicate allocation id %d", a.ID)
+		}
+		r := a.Rect
+		if r.Row < 0 || r.Col < 0 || r.H <= 0 || r.W <= 0 || r.Row+r.H > m.Rows || r.Col+r.W > m.Cols {
+			return fmt.Errorf("area: restore allocation %d rect %v out of bounds", a.ID, r)
+		}
+		for row := r.Row; row < r.Row+r.H; row++ {
+			for col := r.Col; col < r.Col+r.W; col++ {
+				if occ[row*m.Cols+col] != 0 {
+					return fmt.Errorf("area: restore allocations %d and %d overlap", occ[row*m.Cols+col], a.ID)
+				}
+				occ[row*m.Cols+col] = a.ID
+			}
+		}
+		table[a.ID] = r
+	}
+	m.occ = occ
+	m.allocs = table
+	m.next = next
+	m.undo = m.undo[:0]
+	return nil
 }
 
 // Clone returns an independent copy of the manager (planners simulate

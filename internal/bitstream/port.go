@@ -217,4 +217,8 @@ func (p *ParallelPort) Name() string { return "SelectMAP" }
 // Cycles returns the raw clock cycle count.
 func (p *ParallelPort) Cycles() uint64 { return p.cycles }
 
+// RestoreCycles overwrites the cycle counter (journal recovery restores a
+// crashed system's accounting).
+func (p *ParallelPort) RestoreCycles(n uint64) { p.cycles = n }
+
 var _ AsyncPort = (*ParallelPort)(nil)

@@ -211,6 +211,11 @@ func (p *Port) Name() string { return "Boundary-Scan" }
 // Cycles returns the total TCK cycles consumed.
 func (p *Port) Cycles() uint64 { return p.cycles }
 
+// RestoreCycles overwrites the TCK cycle counter — the journal-recovery
+// path restores the counter a crashed system had accounted, so elapsed-time
+// book-keeping survives a crash bit-identically.
+func (p *Port) RestoreCycles(n uint64) { p.cycles = n }
+
 var (
 	_ bitstream.Port      = (*Port)(nil)
 	_ bitstream.AsyncPort = (*Port)(nil)

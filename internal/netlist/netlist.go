@@ -82,6 +82,25 @@ func (n *Netlist) add(node Node) ID {
 	return id
 }
 
+// FromNodes reconstitutes a netlist from its serialised node list (the
+// journal's recovery path stores netlists as []Node). Unlike the builder
+// methods it never panics: a duplicate or empty node name — impossible from
+// the builders, conceivable from a corrupt journal — is an error.
+func FromNodes(name string, nodes []Node) (*Netlist, error) {
+	n := &Netlist{Name: name, byName: make(map[string]ID, len(nodes))}
+	n.Nodes = append(n.Nodes, nodes...)
+	for i, node := range n.Nodes {
+		if node.Name == "" {
+			return nil, fmt.Errorf("netlist: node %d of %q has no name", i, name)
+		}
+		if _, dup := n.byName[node.Name]; dup {
+			return nil, fmt.Errorf("netlist: duplicate node name %q in %q", node.Name, name)
+		}
+		n.byName[node.Name] = ID(i)
+	}
+	return n, nil
+}
+
 // Input adds a primary input.
 func (n *Netlist) Input(name string) ID {
 	return n.add(Node{Kind: KindInput, Name: name})

@@ -179,6 +179,20 @@ func (e *Engine) tick(minCycles int) error {
 // procedures account their waits.
 func (e *Engine) Tick(minCycles int) error { return e.tick(minCycles) }
 
+// LastTick returns the port-time cursor of the wait-point accounting — part
+// of the state the journal persists.
+func (e *Engine) LastTick() float64 { return e.lastTick }
+
+// RestoreAccounting overwrites the engine's cumulative statistics and tick
+// cursor. Journal recovery uses it (together with the port's RestoreCycles)
+// to make a recovered system's accounting bit-identical to a never-crashed
+// twin's: the physical reconciliation traffic is reported separately, not
+// folded into the restored counters.
+func (e *Engine) RestoreAccounting(st Stats, lastTick float64) {
+	e.Stats = st
+	e.lastTick = lastTick
+}
+
 // inputPlan describes one original input pin to be paralleled.
 type inputPlan struct {
 	pinLocal  int             // local id on both original and replica CLB

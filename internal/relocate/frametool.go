@@ -71,7 +71,30 @@ type FrameTool struct {
 	streamingSet map[fabric.FrameAddr]bool
 
 	sink ViewSink
+
+	// barrier, when set, observes the flush ordering: PreDeliver fires
+	// after the frames of a flush (or a designer-path reconciliation) are
+	// known but before their content is delivered through the port, and a
+	// PreDeliver error aborts the delivery. The run-time manager's journal
+	// hangs here — undo records must be durable before the device-visible
+	// write they cover.
+	barrier DeliveryBarrier
 }
+
+// DeliveryBarrier observes the points at which frames become part of the
+// delivered configuration. PreDeliver is called with the frame set of one
+// delivery before any of it reaches the port; returning an error aborts the
+// delivery (nothing is streamed). Delivered is called with the delivered
+// updates — for an async port at enqueue time, when the burst's content is
+// fixed. The updates' data slices are owned by the shadow; observers must
+// not retain or mutate them.
+type DeliveryBarrier interface {
+	PreDeliver(addrs []fabric.FrameAddr) error
+	Delivered(updates []bitstream.FrameUpdate)
+}
+
+// SetBarrier attaches the flush-ordering barrier (nil detaches).
+func (ft *FrameTool) SetBarrier(b DeliveryBarrier) { ft.barrier = b }
 
 // ViewSink receives logical-level change notifications from the tool's write
 // path — the touched-reporting that lets a derived occupancy structure (the
@@ -134,14 +157,30 @@ func (ft *FrameTool) sync() error {
 		return nil
 	}
 	addrs := ft.dev.FramesChangedSince(ft.genSeen)
+	var updates []bitstream.FrameUpdate
+	if ft.barrier != nil && len(addrs) > 0 {
+		updates = make([]bitstream.FrameUpdate, 0, len(addrs))
+	}
 	for _, addr := range addrs {
 		data, err := ft.dev.ReadFrame(addr.Major, addr.Minor)
 		if err != nil {
 			return err
 		}
 		ft.shadow.NoteOwned(addr, data)
+		if updates != nil {
+			updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
+		}
 	}
 	ft.genSeen = g
+	if ft.barrier != nil && len(addrs) > 0 {
+		// Designer-path writes are already on the device; the barrier still
+		// sees them as a delivery so pre-images journal before anything
+		// else builds on the reconciled state.
+		if err := ft.barrier.PreDeliver(addrs); err != nil {
+			return err
+		}
+		ft.barrier.Delivered(updates)
+	}
 	if ft.sink != nil && len(addrs) > 0 {
 		ft.sink.Synced(addrs)
 	}
@@ -162,14 +201,27 @@ func (ft *FrameTool) SyncDeclared(cells []fabric.CellRef, nodes []fabric.NodeID,
 		return nil
 	}
 	addrs := ft.dev.FramesChangedSince(ft.genSeen)
+	var updates []bitstream.FrameUpdate
+	if ft.barrier != nil && len(addrs) > 0 {
+		updates = make([]bitstream.FrameUpdate, 0, len(addrs))
+	}
 	for _, addr := range addrs {
 		data, err := ft.dev.ReadFrame(addr.Major, addr.Minor)
 		if err != nil {
 			return err
 		}
 		ft.shadow.NoteOwned(addr, data)
+		if updates != nil {
+			updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
+		}
 	}
 	ft.genSeen = g
+	if ft.barrier != nil && len(addrs) > 0 {
+		if err := ft.barrier.PreDeliver(addrs); err != nil {
+			return err
+		}
+		ft.barrier.Delivered(updates)
+	}
 	if ft.sink != nil {
 		for _, ref := range cells {
 			ft.sink.CellTouched(ref)
@@ -350,6 +402,13 @@ func (ft *FrameTool) Flush() error {
 		}
 		updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
 	}
+	if ft.barrier != nil {
+		// The journal's ordering contract: undo records for every frame of
+		// this delivery are durable before the port sees any of it.
+		if err := ft.barrier.PreDeliver(addrs); err != nil {
+			return err
+		}
+	}
 	if ft.async != nil && !ft.Serial {
 		// Stage-stream: the burst shifts out in the background. The words
 		// are built from the shadow's current slices at enqueue time (the
@@ -361,10 +420,19 @@ func (ft *FrameTool) Flush() error {
 		}
 		ft.streamBursts = append(ft.streamBursts, addrs)
 		ft.async.StreamUpdates(updates)
+		if ft.barrier != nil {
+			// The burst's content is fixed at enqueue (the stream copies the
+			// data), so the delivered view is already determined here even
+			// though the shift-out completes later.
+			ft.barrier.Delivered(updates)
+		}
 		return nil
 	}
 	if err := ft.port.WriteUpdates(updates); err != nil {
 		return err
+	}
+	if ft.barrier != nil {
+		ft.barrier.Delivered(updates)
 	}
 	// The controller re-wrote the same data the reconciled shadow holds;
 	// fold exactly those generation bumps in so the next sync stays a

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Trace file format: a single JSON document with a magic marker and a format
+// version, carrying the generator configuration (when the stream came from
+// Stream) and the fully-materialised task list. Replaying the task list —
+// rather than re-generating from the config — is what makes a recorded
+// experiment reproducible across generator changes: the tasks on disk are
+// the experiment.
+const (
+	TraceMagic   = "rlm-workload-trace"
+	TraceVersion = 1
+)
+
+// Typed trace errors; callers branch with errors.Is.
+var (
+	// ErrTraceMagic: the file is not a workload trace at all.
+	ErrTraceMagic = errors.New("workload: not a trace file")
+	// ErrTraceVersion: the trace is from a newer format revision.
+	ErrTraceVersion = errors.New("workload: unsupported trace version")
+	// ErrTraceMalformed: structurally a trace, semantically broken.
+	ErrTraceMalformed = errors.New("workload: malformed trace")
+)
+
+// Trace is a versioned, self-describing capture of one task stream.
+type Trace struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Label names the experiment that recorded the trace.
+	Label string `json:"label,omitempty"`
+	// Config is the generator configuration the tasks were drawn from; nil
+	// for merged or hand-written traces. It is documentation — replay uses
+	// Tasks, never re-generates.
+	Config *Config `json:"config,omitempty"`
+	Tasks  []Task  `json:"tasks"`
+}
+
+// NewTrace wraps a task stream in the current format envelope.
+func NewTrace(label string, cfg *Config, tasks []Task) *Trace {
+	return &Trace{Magic: TraceMagic, Version: TraceVersion, Label: label, Config: cfg, Tasks: tasks}
+}
+
+// validate enforces the semantic invariants replay depends on.
+func (tr *Trace) validate() error {
+	if tr.Magic != TraceMagic {
+		return fmt.Errorf("%w: magic %q", ErrTraceMagic, tr.Magic)
+	}
+	if tr.Version < 1 || tr.Version > TraceVersion {
+		return fmt.Errorf("%w: version %d (this build reads <= %d)", ErrTraceVersion, tr.Version, TraceVersion)
+	}
+	prev := 0.0
+	for i, t := range tr.Tasks {
+		switch {
+		case t.H <= 0 || t.W <= 0:
+			return fmt.Errorf("%w: task %d has region %dx%d", ErrTraceMalformed, i, t.H, t.W)
+		case t.Service <= 0:
+			return fmt.Errorf("%w: task %d has service %g", ErrTraceMalformed, i, t.Service)
+		case t.Arrival < prev:
+			return fmt.Errorf("%w: task %d arrives at %g before task %d at %g",
+				ErrTraceMalformed, i, t.Arrival, i-1, prev)
+		}
+		prev = t.Arrival
+	}
+	return nil
+}
+
+// WriteTrace serialises the trace.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	if err := tr.validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadTrace deserialises and validates a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTraceMagic, err)
+	}
+	if err := tr.validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}
+
+// SaveTrace writes the trace to path (truncating).
+func SaveTrace(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads and validates the trace at path.
+func LoadTrace(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tr, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return tr, nil
+}
+
+// MergeTraces folds several traces into one stream for batch ingest: tasks
+// are merged in arrival order (stable across inputs) and re-numbered. The
+// result carries no Config — it no longer corresponds to one generator draw.
+func MergeTraces(traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("%w: nothing to merge", ErrTraceMalformed)
+	}
+	var tasks []Task
+	for _, tr := range traces {
+		if err := tr.validate(); err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, tr.Tasks...)
+	}
+	sort.SliceStable(tasks, func(i, j int) bool { return tasks[i].Arrival < tasks[j].Arrival })
+	for i := range tasks {
+		tasks[i].ID = i
+	}
+	return NewTrace("merged", nil, tasks), nil
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// encodeUnchecked bypasses the writer's validation, standing in for a trace
+// produced by a foreign (or buggy) tool.
+func encodeUnchecked(w io.Writer, tr *Trace) error {
+	return json.NewEncoder(w).Encode(tr)
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := Config{Seed: 11, N: 20, MeanInterarrival: 1, MeanService: 5, MinSide: 2, MaxSide: 6, GatedFraction: 0.3, RAMFraction: 0.2}
+	tasks := Stream(cfg)
+	path := filepath.Join(t.TempDir(), "stream.trace")
+	if err := SaveTrace(path, NewTrace("unit", &cfg, tasks)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Magic != TraceMagic || tr.Version != TraceVersion || tr.Label != "unit" {
+		t.Fatalf("envelope = %q v%d %q", tr.Magic, tr.Version, tr.Label)
+	}
+	if tr.Config == nil || *tr.Config != cfg {
+		t.Fatalf("config = %+v, want %+v", tr.Config, cfg)
+	}
+	if !reflect.DeepEqual(tr.Tasks, tasks) {
+		t.Fatal("tasks did not survive the round trip")
+	}
+}
+
+func TestTraceTypedErrors(t *testing.T) {
+	dir := t.TempDir()
+	mustSaveRaw := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Run("not-json", func(t *testing.T) {
+		if _, err := LoadTrace(mustSaveRaw("garbage", "not a trace")); !errors.Is(err, ErrTraceMagic) {
+			t.Errorf("err = %v, want ErrTraceMagic", err)
+		}
+	})
+	t.Run("wrong-magic", func(t *testing.T) {
+		if _, err := ReadTrace(strings.NewReader(`{"magic":"something-else","version":1}`)); !errors.Is(err, ErrTraceMagic) {
+			t.Errorf("err = %v, want ErrTraceMagic", err)
+		}
+	})
+	t.Run("future-version", func(t *testing.T) {
+		in := `{"magic":"` + TraceMagic + `","version":99}`
+		if _, err := ReadTrace(strings.NewReader(in)); !errors.Is(err, ErrTraceVersion) {
+			t.Errorf("err = %v, want ErrTraceVersion", err)
+		}
+	})
+	bad := []struct {
+		name  string
+		tasks []Task
+	}{
+		{"zero-region", []Task{{ID: 0, Service: 1, H: 0, W: 2}}},
+		{"no-service", []Task{{ID: 0, Service: 0, H: 2, W: 2}}},
+		{"arrivals-backwards", []Task{
+			{ID: 0, Arrival: 5, Service: 1, H: 2, W: 2},
+			{ID: 1, Arrival: 1, Service: 1, H: 2, W: 2},
+		}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			// The writer refuses to produce a malformed trace...
+			err := SaveTrace(filepath.Join(dir, tc.name), NewTrace("bad", nil, tc.tasks))
+			if !errors.Is(err, ErrTraceMalformed) {
+				t.Errorf("save err = %v, want ErrTraceMalformed", err)
+			}
+			// ...and the reader refuses one written by hand.
+			var sb strings.Builder
+			tr := NewTrace("bad", nil, tc.tasks)
+			if err := encodeUnchecked(&sb, tr); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadTrace(strings.NewReader(sb.String())); !errors.Is(err, ErrTraceMalformed) {
+				t.Errorf("read err = %v, want ErrTraceMalformed", err)
+			}
+		})
+	}
+}
+
+func TestMergeTraces(t *testing.T) {
+	a := NewTrace("a", nil, Stream(Config{Seed: 1, N: 10, MeanInterarrival: 2, MeanService: 5, MinSide: 2, MaxSide: 4}))
+	b := NewTrace("b", nil, Stream(Config{Seed: 2, N: 15, MeanInterarrival: 1, MeanService: 4, MinSide: 2, MaxSide: 4}))
+	m, err := MergeTraces(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Tasks) != 25 {
+		t.Fatalf("merged %d tasks, want 25", len(m.Tasks))
+	}
+	if m.Config != nil {
+		t.Error("merged trace kept a generator config")
+	}
+	prev := -1.0
+	for i, tk := range m.Tasks {
+		if tk.ID != i {
+			t.Fatalf("task %d renumbered to %d", i, tk.ID)
+		}
+		if tk.Arrival < prev {
+			t.Fatalf("task %d arrives at %g after %g", i, tk.Arrival, prev)
+		}
+		prev = tk.Arrival
+	}
+	// The merged trace is itself a valid trace.
+	path := filepath.Join(t.TempDir(), "merged.trace")
+	if err := SaveTrace(path, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeTraces(); !errors.Is(err, ErrTraceMalformed) {
+		t.Errorf("empty merge err = %v, want ErrTraceMalformed", err)
+	}
+}

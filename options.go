@@ -27,6 +27,7 @@ type config struct {
 	serialCommit bool
 	portFactory  func(*bitstream.Controller) bitstream.Port
 	tmplPolicy   *template.Policy
+	journalPath  string
 }
 
 // Option configures a System at construction time.
@@ -80,6 +81,16 @@ func WithSerialCommit() Option {
 // always fall back to the replica path (which itself refuses them).
 func WithTemplateCache(p *template.Policy) Option {
 	return func(c *config) { c.tmplPolicy = p }
+}
+
+// WithJournal enables the durable operation journal at the given path: every
+// mutating facade operation writes its intent, frame pre-images and post
+// state ahead of the configuration port, so a host crash at any point can be
+// reconciled against the device readback with rlm.Recover. New refuses a
+// path that already holds journal history (journal.ErrExists, wrapped) —
+// recover from it instead of truncating it.
+func WithJournal(path string) Option {
+	return func(c *config) { c.journalPath = path }
 }
 
 // WithPortModel substitutes a custom configuration port built over the

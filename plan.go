@@ -2,6 +2,7 @@ package rlm
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/area"
 	"repro/internal/fabric"
@@ -117,6 +118,9 @@ func (p *Plan) Commit() error {
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if err := s.journalBeginLocked(snap, "plan", "", fabric.Rect{}, p.describe()); err != nil {
+		return err
+	}
 	execErr := s.engine.Tool.InBatch(func() error {
 		for i, op := range p.ops {
 			if err := s.executeOpLocked(op); err != nil {
@@ -132,11 +136,24 @@ func (p *Plan) Commit() error {
 		// transaction.
 		execErr = s.engine.Tool.AwaitStream()
 	}
+	if execErr == nil {
+		execErr = s.journalCommitLocked()
+	}
 	if execErr != nil {
 		s.restoreLocked(snap, execErr)
+		s.journalAbortLocked()
 		return execErr
 	}
 	return nil
+}
+
+// describe renders the op list for the journal's intent record.
+func (p *Plan) describe() string {
+	parts := make([]string, len(p.ops))
+	for i, op := range p.ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, "; ")
 }
 
 func (s *System) executeOpLocked(op planOp) error {

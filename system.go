@@ -29,6 +29,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/journal"
 	"repro/internal/jtag"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -64,6 +65,18 @@ type System struct {
 	cps       []*checkpoint
 	restoring bool // suppress journalling while a rollback replays the journal
 
+	// jrnl is the durable operation journal (nil = journaling off); see
+	// journal.go for the write-ahead protocol and recover.go for the crash
+	// reconciliation path.
+	jrnl *sysJournal
+	// onDelivered observes every frame delivery (and rollback recovery
+	// stream) — the crash-torture harness mirrors the fabric from it.
+	onDelivered func([]bitstream.FrameUpdate)
+	// crashHook, when set, fires at every journal/flush boundary with the
+	// boundary's name; the harness snapshots journal prefix and mirror
+	// there to simulate a crash.
+	crashHook func(stage string)
+
 	subMu   sync.Mutex
 	subs    map[int]chan Event
 	nextSub int
@@ -81,6 +94,27 @@ func New(opts ...Option) (*System, error) {
 		cfg.device = fabric.XCV200
 	}
 	dev := fabric.NewDevice(cfg.device)
+	sys, err := newSystem(&cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.journalPath != "" {
+		j, err := journal.Create(cfg.journalPath)
+		if err != nil {
+			return nil, fmt.Errorf("rlm: opening journal: %w", err)
+		}
+		sys.attachJournal(j, 0)
+		if err := sys.journalInit(&cfg); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("rlm: initialising journal: %w", err)
+		}
+	}
+	return sys, nil
+}
+
+// newSystem builds a system over an existing device — New's body, shared
+// with the journal-recovery constructor which brings its own device.
+func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 	ctrl := bitstream.NewController(dev)
 	var port bitstream.Port
 	switch {
@@ -237,13 +271,22 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 		return nil, err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if err := s.journalBeginLocked(snap, "load", nl.Name, region, ""); err != nil {
+		return nil, err
+	}
 	if s.tmpl != nil {
 		d, handled, err := s.tryWarmLoadLocked(nl, region)
 		if err != nil {
 			s.restoreLocked(snap, err)
+			s.journalAbortLocked()
 			return nil, err
 		}
 		if handled {
+			if err := s.journalCommitLocked(); err != nil {
+				s.restoreLocked(snap, err)
+				s.journalAbortLocked()
+				return nil, err
+			}
 			return d, nil
 		}
 		// Cache miss (or clean pre-write fallback): cold path below.
@@ -251,10 +294,16 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 	d, err := s.loadRaw(nl, region)
 	if err != nil {
 		s.restoreLocked(snap, err)
+		s.journalAbortLocked()
 		return nil, err
 	}
 	if s.tmpl != nil {
 		s.captureTemplateLocked(d)
+	}
+	if err := s.journalCommitLocked(); err != nil {
+		s.restoreLocked(snap, err)
+		s.journalAbortLocked()
+		return nil, err
 	}
 	return d, nil
 }
@@ -360,6 +409,9 @@ func (s *System) Unload(name string) error {
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if err := s.journalBeginLocked(snap, "unload", name, s.designs[name].Region, ""); err != nil {
+		return err
+	}
 	err = s.unloadRaw(name)
 	if err == nil {
 		// Harvest the batched stream before the checkpoint closes: a
@@ -367,8 +419,12 @@ func (s *System) Unload(name string) error {
 		// operation and must roll it back.
 		err = s.engine.Tool.AwaitStream()
 	}
+	if err == nil {
+		err = s.journalCommitLocked()
+	}
 	if err != nil {
 		s.restoreLocked(snap, err)
+		s.journalAbortLocked()
 		return fmt.Errorf("rlm: unloading %q: %w", name, err)
 	}
 	return nil
@@ -473,12 +529,19 @@ func (s *System) moveLocked(name string, to fabric.Rect) error {
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if err := s.journalBeginLocked(snap, "move", name, to, ""); err != nil {
+		return err
+	}
 	err = s.moveRaw(name, to)
 	if err == nil {
 		err = s.engine.Tool.AwaitStream() // harvest before the checkpoint closes
 	}
+	if err == nil {
+		err = s.journalCommitLocked()
+	}
 	if err != nil {
 		s.restoreLocked(snap, err)
+		s.journalAbortLocked()
 		return err
 	}
 	return nil
@@ -599,15 +662,24 @@ func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) erro
 		return err
 	}
 	defer s.releaseCheckpointLocked(snap)
+	if err := s.journalBeginLocked(snap, "move-staged", name, to, fmt.Sprintf("maxStep=%d", maxStep)); err != nil {
+		return err
+	}
 	for _, next := range hops {
 		if err := s.moveRaw(name, next); err != nil {
 			err = fmt.Errorf("rlm: staged move via %v: %w", next, err)
 			s.restoreLocked(snap, err)
+			s.journalAbortLocked()
 			return err
 		}
 	}
-	if err := s.engine.Tool.AwaitStream(); err != nil {
+	err = s.engine.Tool.AwaitStream()
+	if err == nil {
+		err = s.journalCommitLocked()
+	}
+	if err != nil {
 		s.restoreLocked(snap, err)
+		s.journalAbortLocked()
 		return err
 	}
 	return nil
@@ -668,8 +740,31 @@ func (s *System) Recover() error {
 	if err := s.engine.Tool.Sync(); err != nil {
 		return err
 	}
+	s.notifyShadowDelivered()
 	s.publish(Event{Kind: Recovered})
 	return nil
+}
+
+// notifyShadowDelivered reports the whole shadow configuration to the
+// delivered-configuration observer after a full recovery bitstream.
+func (s *System) notifyShadowDelivered() {
+	if s.onDelivered == nil {
+		return
+	}
+	var updates []bitstream.FrameUpdate
+	for major := 0; major < s.dev.NumMajors(); major++ {
+		col, ok := s.dev.ColumnByMajor(major)
+		if !ok {
+			continue
+		}
+		for minor := 0; minor < col.Frames; minor++ {
+			addr := fabric.FrameAddr{Major: major, Minor: minor}
+			if data, ok := s.engine.Tool.Shadow().Frame(addr); ok {
+				updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
+			}
+		}
+	}
+	s.onDelivered(updates)
 }
 
 // checkpoint captures everything a rollback needs, all of it copy-on-write:
@@ -774,9 +869,24 @@ func (s *System) restoreLocked(cp *checkpoint, cause error) {
 	// RecoveryWords syncs first, so designer-path writes (a half-placed
 	// design) are part of the dirty set and cannot survive the rollback.
 	words, wordsErr := s.engine.Tool.RecoveryWords(cp.snap)
+	// The recovery stream bypasses the frame tool (it feeds the controller
+	// directly), so the delivered-configuration observer is notified here
+	// with the pre-images about to be restored — before CompleteRestore
+	// drains the snapshot they live in.
+	var restoredFrames []bitstream.FrameUpdate
+	if s.onDelivered != nil && wordsErr == nil && len(words) > 0 {
+		for _, addr := range cp.snap.Frames() {
+			if pre, ok := cp.snap.Preimage(addr); ok {
+				restoredFrames = append(restoredFrames, bitstream.FrameUpdate{Addr: addr, Data: pre})
+			}
+		}
+	}
 	var feedErr error
 	if wordsErr == nil && len(words) > 0 {
 		feedErr = s.ctrl.Feed(words...)
+		if feedErr == nil && s.onDelivered != nil {
+			s.onDelivered(restoredFrames)
+		}
 	}
 	s.engine.Tool.CompleteRestore(cp.snap)
 	if wordsErr != nil || feedErr != nil {
@@ -791,6 +901,7 @@ func (s *System) restoreLocked(cp *checkpoint, cause error) {
 		}
 		_ = s.ctrl.Feed(s.engine.Tool.Shadow().RecoveryBitstream()...)
 		_ = s.engine.Tool.Sync()
+		s.notifyShadowDelivered()
 		cause = fmt.Errorf("%w (partial recovery failed, full recovery streamed: %v)", cause, recErr)
 	}
 	// Area and host book-keeping rewind in place: Area() callers (e.g. a
