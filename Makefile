@@ -1,10 +1,17 @@
-.PHONY: test race bench bench-baseline cover lint fuzz
+.PHONY: test race bench bench-baseline cover lint fuzz torture
 
 test:
 	go build ./... && go test ./...
 
 race:
 	go test -race ./...
+
+# Mirrors the CI crash- and fault-torture steps (keep the -run patterns in
+# sync with .github/workflows/ci.yml): journaled crash/recovery at every
+# boundary, then the transport fault-tolerance properties under race.
+torture:
+	go test -race -run 'TestCrashConsistency|TestRecover' repro
+	go test -race -run 'TestChaosRetry|TestPersistentFault|TestScrub|TestBackgroundScrubber|TestCrashDuringRetry' repro
 
 # The exact command the CI bench lane runs (keep the two in sync: the
 # regression gate compares like against like).

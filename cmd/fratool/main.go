@@ -17,6 +17,13 @@
 //
 //	fratool trace night1.trace night2.trace
 //	fratool trace -o merged.trace night1.trace night2.trace
+//
+// The journal subcommand maintains operation journals written by
+// rlm.WithJournal: compact collapses a sealed journal's history into its
+// Init record plus one state snapshot (refusing torn or unsealed files —
+// those belong to rlm.Recover):
+//
+//	fratool journal compact ops.journal more.journal
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	rlm "repro"
 	"repro/internal/fabric"
 	"repro/internal/itc99"
+	"repro/internal/journal"
 	"repro/internal/jtag"
 	"repro/internal/sim"
 	"repro/internal/template"
@@ -37,6 +45,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		traceCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "journal" {
+		journalCmd(os.Args[2:])
 		return
 	}
 	var (
@@ -269,6 +281,27 @@ func traceCmd(args []string) {
 	fail(err)
 	fail(workload.SaveTrace(*out, merged))
 	fmt.Printf("merged %d traces -> %s (%d tasks)\n", len(traces), *out, len(merged.Tasks))
+}
+
+func journalCmd(args []string) {
+	if len(args) == 0 || args[0] != "compact" {
+		fmt.Fprintln(os.Stderr, "fratool journal: usage: fratool journal compact FILE...")
+		os.Exit(2)
+	}
+	files := args[1:]
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "fratool journal compact: no journal files given")
+		os.Exit(2)
+	}
+	for _, path := range files {
+		st, err := os.Stat(path)
+		fail(err)
+		before := st.Size()
+		after, err := journal.Compact(path)
+		fail(err)
+		fmt.Printf("%-30s %8d -> %8d bytes (%.0f%%)\n",
+			path, before, after, 100*float64(after)/float64(before))
+	}
 }
 
 func fail(err error) {

@@ -122,10 +122,7 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		rep.CLBsMoved = 0
 		err := s.executeDefragPlanLocked(plan, byID, pol.MaxStep, rep)
 		if err == nil {
-			err = s.engine.Tool.AwaitStream() // harvest before accepting the candidate
-		}
-		if err == nil {
-			err = s.journalCommitLocked()
+			err = s.finishOpLocked(snap) // harvest before accepting the candidate
 		}
 		if err != nil {
 			s.restoreLocked(snap, err)
@@ -139,6 +136,7 @@ func (s *System) defragNeedLocked(pol DefragPolicy) (*DefragReport, error) {
 		return rep, nil
 	}
 	s.journalAbortLocked()
+	s.quarantineSweepLocked()
 	return nil, fmt.Errorf("rlm: all %d rearrangement plans failed physically, last: %w",
 		rep.Attempts, lastErr)
 }
@@ -196,15 +194,13 @@ func (s *System) defragCompactLocked(pol DefragPolicy) (*DefragReport, error) {
 			// Each slide owns its checkpoint, so its stream is harvested
 			// before the checkpoint is released (a later harvest could not
 			// roll the slide back any more).
-			slideErr = s.engine.Tool.AwaitStream()
-		}
-		if slideErr == nil {
-			slideErr = s.journalCommitLocked()
+			slideErr = s.finishOpLocked(snap)
 		}
 		if slideErr != nil {
 			rep.Attempts++
 			s.restoreLocked(snap, fmt.Errorf("rlm: compaction slide %s -> %v: %w", name, st.To, slideErr))
 			s.journalAbortLocked()
+			s.quarantineSweepLocked()
 		} else {
 			rep.Moves = append(rep.Moves, DesignMove{Design: name, From: from, To: st.To})
 			rep.CLBsMoved += from.Area()

@@ -22,4 +22,11 @@ var (
 	// ErrPlanInvalid: a transaction failed dry-run validation before any
 	// frame was streamed; the system is untouched.
 	ErrPlanInvalid = errors.New("rlm: plan fails dry-run validation")
+	// ErrRetriesExhausted: a transport fault survived every re-delivery
+	// attempt the retry policy allows; the operation rolled back and any
+	// frames that failed readback-verify were quarantined.
+	ErrRetriesExhausted = errors.New("rlm: delivery retries exhausted")
+	// ErrQuarantined: the requested rectangle overlaps logic space that was
+	// masked out after persistent configuration-frame failures.
+	ErrQuarantined = errors.New("rlm: target region overlaps quarantined logic space")
 )

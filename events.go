@@ -41,6 +41,24 @@ const (
 	// translation (frame image re-targeted to the new columns plus a
 	// boundary patch) instead of cell-by-cell replication.
 	DesignTranslated
+	// FaultDetected: a transport fault surfaced at an operation's harvest
+	// point and the retry ladder is engaging (Err is the fault).
+	FaultDetected
+	// RetrySucceeded: a re-delivery attempt converged; Steps is the number
+	// of attempts it took.
+	RetrySucceeded
+	// RetriesExhausted: every allowed re-delivery attempt failed; the
+	// operation rolls back and persistently bad frames are quarantined.
+	RetriesExhausted
+	// FrameQuarantined: a configuration frame failed readback-verify
+	// persistently and was masked out of the logic space (Frame names it).
+	FrameQuarantined
+	// DesignEvacuated: a design resident on newly-quarantined logic space
+	// was relocated to healthy space (From -> Region).
+	DesignEvacuated
+	// ScrubRepair: the background scrubber found a frame diverging from the
+	// golden shadow content and rewrote it (Frame names it).
+	ScrubRepair
 )
 
 var eventKindNames = [...]string{
@@ -48,6 +66,8 @@ var eventKindNames = [...]string{
 	"rearrange-started", "rearrange-finished", "recovered",
 	"template-hit", "template-miss", "template-stored", "template-evicted",
 	"design-translated",
+	"fault-detected", "retry-succeeded", "retries-exhausted",
+	"frame-quarantined", "design-evacuated", "scrub-repair",
 }
 
 func (k EventKind) String() string {
@@ -65,9 +85,10 @@ type Event struct {
 	From   fabric.Rect // previous region (DesignMoved)
 	// CLBFrom/CLBTo are the CLB coordinates of a CLBRelocated event.
 	CLBFrom, CLBTo fabric.Coord
-	Steps          int   // planned design moves (Rearrange*)
-	CLBs           int   // CLBs physically relocated (RearrangeFinished)
-	Err            error // failure that triggered a rollback (Recovered)
+	Steps          int              // planned design moves (Rearrange*), or retry attempts
+	CLBs           int              // CLBs physically relocated (RearrangeFinished)
+	Frame          fabric.FrameAddr // frame involved (FrameQuarantined, ScrubRepair)
+	Err            error            // failure that triggered the event (Recovered, FaultDetected)
 }
 
 func (e Event) String() string {
@@ -89,6 +110,16 @@ func (e Event) String() string {
 			return fmt.Sprintf("%s after: %v", e.Kind, e.Err)
 		}
 		return e.Kind.String()
+	case FaultDetected:
+		return fmt.Sprintf("%s: %v", e.Kind, e.Err)
+	case RetrySucceeded:
+		return fmt.Sprintf("%s after %d attempt(s)", e.Kind, e.Steps)
+	case RetriesExhausted:
+		return fmt.Sprintf("%s after %d attempt(s): %v", e.Kind, e.Steps, e.Err)
+	case FrameQuarantined, ScrubRepair:
+		return fmt.Sprintf("%s F%d.%d", e.Kind, e.Frame.Major, e.Frame.Minor)
+	case DesignEvacuated:
+		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.From, e.Region)
 	}
 	return e.Kind.String()
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/faultport"
 	"repro/internal/itc99"
 	"repro/internal/journal"
 	"repro/internal/jtag"
@@ -50,13 +51,17 @@ func fuzzSeedFromTasks(sel, flk byte, tasks []workload.Task) []byte {
 // sealed, and the recovered book-keeping backed by device readback.
 //
 // Input layout: byte 0 selects the crash capture to recover, byte 1 encodes
-// the flaky-port injection (0 = healthy; low 3 bits = which op, high bits =
-// frame budget), then 3 bytes per op.
+// the fault injection (0 = healthy; low 3 bits = which op; bit 3 = fault
+// class — clear for a transient stream trip with the high 4 bits as frame
+// budget, set for the persistent/SEU plans with the high 4 bits picking the
+// condemned column and the sub-mode), then 3 bytes per op.
 func FuzzFacadeOps(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 0})                                  // one small load, recover first boundary
 	f.Add([]byte{7, 0, 1, 0, 0, 0, 50, 100, 2, 10, 200})          // big+small load then move
 	f.Add([]byte{3, 0x22, 0, 0, 0, 4, 90, 33, 5, 0, 0})           // staged move + defrag, port dies on op 2
 	f.Add([]byte{11, 0x91, 1, 7, 7, 0, 60, 60, 3, 0, 0, 5, 1, 1}) // unload + defrag, late injection
+	f.Add([]byte{4, 0x29, 1, 0, 0, 2, 40, 80, 0, 6, 6})           // persistent frame failure on op 1: retry, quarantine, evacuate
+	f.Add([]byte{6, 0x3A, 0, 0, 0, 1, 2, 2, 2, 70, 10})           // silent SEU on op 2, scrubbed after the workout
 	f.Add(fuzzSeedFromTasks(5, 0, workload.Stream(workload.Config{Seed: 7, N: 6, MinSide: 2, MaxSide: 4})))
 	f.Add(fuzzSeedFromTasks(9, 0x53, workload.Stream(workload.Config{Seed: 40, N: 8, MinSide: 2, MaxSide: 5, RAMFraction: 0.3})))
 
@@ -90,10 +95,13 @@ func fuzzFacadeRun(t *testing.T, data []byte) {
 
 		dir := t.TempDir()
 		jpath := filepath.Join(dir, "op.journal")
-		var flaky *flakyAsyncPort
+		var flaky *faultport.Port
 		sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath),
+			// The retry ladder runs inside the journal barrier, so crashes in
+			// the "retry" stage are part of the capture set.
+			WithRetryPolicy(RetryPolicy{MaxRetries: 2, VerifyAfter: 2}),
 			WithPortModel(func(ctrl *bitstream.Controller) bitstream.Port {
-				flaky = &flakyAsyncPort{Port: jtag.NewPort(ctrl, jtag.DefaultTCKHz), budget: -1}
+				flaky = faultport.New(jtag.NewPort(ctrl, jtag.DefaultTCKHz), uint64(flk))
 				return flaky
 			}))
 		if err != nil {
@@ -143,11 +151,25 @@ func fuzzFacadeRun(t *testing.T, data []byte) {
 				}
 			}
 		}
+		var hurtFrame fabric.FrameAddr
+		persistent, seu := false, false
 		for op := 0; op < fuzzOps && len(stream) >= 3; op++ {
 			code, a, c := stream[0], stream[1], stream[2]
 			stream = stream[3:]
 			if flk != 0 && op == int(flk&7) {
-				flaky.budget = int(flk >> 4)
+				hi := int(flk >> 4)
+				switch {
+				case flk&0x08 == 0:
+					flaky.TripAfter(hi)
+				case hi%2 == 0: // persistent write failure in a derived column
+					hurtFrame = fabric.FrameAddr{Major: hi / 2 % sys.Device().NumMajors(), Minor: int(a) % 2}
+					flaky.FailFrames(hurtFrame)
+					persistent = true
+				default: // silent SEU, repaired by the scrub pass after the workout
+					hurtFrame = fabric.FrameAddr{Major: hi / 2 % sys.Device().NumMajors(), Minor: 0}
+					flaky.FlipBit(hurtFrame, int(c)%4, int(a)%32)
+					seu = true
+				}
 			}
 			switch code % 6 {
 			case 0: // small counter load
@@ -211,7 +233,21 @@ func fuzzFacadeRun(t *testing.T, data []byte) {
 				}
 				_, _ = sys.Defragment(pol)
 			}
-			flaky.budget = -1
+			flaky.Disarm()
+			if persistent {
+				// Scope the persistent fault to its op, like the transient
+				// trip: the quarantine it provoked (if the op tripped over
+				// it) is already permanent system state.
+				flaky.HealFrames(hurtFrame)
+				persistent = false
+			}
+		}
+		if seu {
+			// The scrubber's half of the fault model: a silent flip must be
+			// found and repaired without disturbing the journal.
+			if _, err := sys.Scrub(0); err != nil {
+				t.Fatalf("scrub after SEU: %v", err)
+			}
 		}
 		if len(captures) == 0 {
 			return

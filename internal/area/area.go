@@ -40,11 +40,16 @@ func (p Policy) String() string { return policyNames[p] }
 // is outstanding the manager appends inverse records to an undo log, so a
 // checkpoint costs O(1) and a rollback costs O(mutations since the mark) —
 // the run-time manager's per-operation checkpoints no longer clone the grid.
+// A quarantine mask (lazily allocated) marks CLBs whose configuration
+// frames failed persistently: quarantined cells are never free for
+// placement, shrink the reported capacity, and — unlike occupancy — are
+// permanent: Rewind, Restore and Free never lift a quarantine.
 type Manager struct {
 	Rows, Cols int
 	occ        []int // 0 = free, else allocation id
 	allocs     map[int]fabric.Rect
 	next       int
+	quar       []bool // nil until the first Quarantine call
 
 	undo  []undoRec
 	marks int // outstanding Mark count; the log records only while > 0
@@ -141,6 +146,57 @@ func NewManagerFor(dev *fabric.Device) *Manager { return NewManager(dev.Rows, de
 
 func (m *Manager) idx(r, c int) int { return r*m.Cols + c }
 
+// blocked reports whether a CLB is quarantined (masked out of the logic
+// space).
+func (m *Manager) blocked(r, c int) bool { return m.quar != nil && m.quar[m.idx(r, c)] }
+
+// Quarantine masks a rectangle of CLBs out of the logic space permanently:
+// the cells stop counting as free capacity and no placement, allocation or
+// move may cover them. Cells currently under an allocation stay attributed
+// to it until the owner moves or frees — the caller evacuates residents.
+func (m *Manager) Quarantine(rect fabric.Rect) {
+	if m.quar == nil {
+		m.quar = make([]bool, m.Rows*m.Cols)
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				m.quar[m.idx(r, c)] = true
+			}
+		}
+	}
+}
+
+// Quarantined reports whether a CLB is masked out of the logic space.
+func (m *Manager) Quarantined(c fabric.Coord) bool { return m.blocked(c.Row, c.Col) }
+
+// QuarantineOverlaps reports whether any cell of rect is quarantined (used
+// to distinguish "region busy" from "region condemned" in error reporting).
+func (m *Manager) QuarantineOverlaps(rect fabric.Rect) bool {
+	if m.quar == nil {
+		return false
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols && m.quar[m.idx(r, c)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// QuarantinedCLBs returns the number of CLBs masked out of the logic space.
+func (m *Manager) QuarantinedCLBs() int {
+	n := 0
+	for _, q := range m.quar {
+		if q {
+			n++
+		}
+	}
+	return n
+}
+
 // Occupied reports whether a CLB is allocated.
 func (m *Manager) Occupied(c fabric.Coord) bool {
 	return m.occ[m.idx(c.Row, c.Col)] != 0
@@ -164,25 +220,28 @@ func (m *Manager) Allocations() []int {
 	return out
 }
 
-// FreeCLBs returns the number of unallocated CLBs.
+// FreeCLBs returns the number of CLBs available for placement: unallocated
+// and not quarantined (quarantine degrades capacity, so utilisation and
+// fragmentation measure the remaining usable space).
 func (m *Manager) FreeCLBs() int {
 	n := 0
-	for _, v := range m.occ {
-		if v == 0 {
+	for i, v := range m.occ {
+		if v == 0 && !(m.quar != nil && m.quar[i]) {
 			n++
 		}
 	}
 	return n
 }
 
-// fits reports whether rect is in bounds and fully free.
+// fits reports whether rect is in bounds, fully free, and clear of the
+// quarantine mask.
 func (m *Manager) fits(rect fabric.Rect) bool {
 	if rect.Row < 0 || rect.Col < 0 || rect.Row+rect.H > m.Rows || rect.Col+rect.W > m.Cols {
 		return false
 	}
 	for r := rect.Row; r < rect.Row+rect.H; r++ {
 		for c := rect.Col; c < rect.Col+rect.W; c++ {
-			if m.occ[m.idx(r, c)] != 0 {
+			if m.occ[m.idx(r, c)] != 0 || m.blocked(r, c) {
 				return false
 			}
 		}
@@ -212,6 +271,9 @@ func (m *Manager) CanMove(id int, to fabric.Rect) bool {
 	for r := to.Row; r < to.Row+to.H; r++ {
 		for c := to.Col; c < to.Col+to.W; c++ {
 			if owner := m.occ[m.idx(r, c)]; owner != 0 && owner != id {
+				return false
+			}
+			if m.blocked(r, c) {
 				return false
 			}
 		}
@@ -258,7 +320,7 @@ func (m *Manager) contact(rect fabric.Rect) int {
 			score++ // device border counts
 			return
 		}
-		if m.occ[m.idx(r, c)] != 0 {
+		if m.occ[m.idx(r, c)] != 0 || m.blocked(r, c) {
 			score++
 		}
 	}
@@ -339,7 +401,7 @@ func (m *Manager) MaxFreeRect() fabric.Rect {
 	best := fabric.Rect{}
 	for r := 0; r < m.Rows; r++ {
 		for c := 0; c < m.Cols; c++ {
-			if m.occ[m.idx(r, c)] == 0 {
+			if m.occ[m.idx(r, c)] == 0 && !m.blocked(r, c) {
 				heights[c]++
 			} else {
 				heights[c] = 0
@@ -392,16 +454,20 @@ func (m *Manager) Utilisation() float64 {
 	return 1 - float64(m.FreeCLBs())/float64(m.Rows*m.Cols)
 }
 
-// String renders the grid (for the tool's display; '.' free, letters by id).
+// String renders the grid (for the tool's display; '.' free, 'x'
+// quarantined, letters by id).
 func (m *Manager) String() string {
 	var b strings.Builder
 	for r := 0; r < m.Rows; r++ {
 		for c := 0; c < m.Cols; c++ {
 			id := m.occ[m.idx(r, c)]
-			if id == 0 {
-				b.WriteByte('.')
-			} else {
+			switch {
+			case id != 0:
 				b.WriteByte(byte('A' + (id-1)%26))
+			case m.blocked(r, c):
+				b.WriteByte('x')
+			default:
+				b.WriteByte('.')
 			}
 		}
 		b.WriteByte('\n')
@@ -428,6 +494,11 @@ func (m *Manager) CopyFrom(src *Manager) {
 		m.allocs[id] = r
 	}
 	m.next = src.next
+	if src.quar != nil {
+		m.quar = append([]bool{}, src.quar...)
+	} else {
+		m.quar = nil
+	}
 }
 
 // Alloc is one allocation in an exported occupancy snapshot.
@@ -452,7 +523,9 @@ func (m *Manager) Export() ([]Alloc, int) {
 // Restore overwrites the manager with an exported occupancy state, in place
 // (pointer holders see the restored state, as with CopyFrom). Overlapping or
 // out-of-bounds allocations are rejected; like CopyFrom it must not be
-// called with outstanding marks.
+// called with outstanding marks. The quarantine mask is not part of the
+// exported state and survives a Restore untouched — the recovery path
+// re-applies it from the journal's own quarantine record.
 func (m *Manager) Restore(allocs []Alloc, next int) error {
 	if m.marks > 0 {
 		return fmt.Errorf("area: Restore into a manager with outstanding marks")
@@ -499,6 +572,9 @@ func (m *Manager) Clone() *Manager {
 	}
 	for id, r := range m.allocs {
 		cp.allocs[id] = r
+	}
+	if m.quar != nil {
+		cp.quar = append([]bool{}, m.quar...)
 	}
 	return cp
 }

@@ -95,6 +95,11 @@ type State struct {
 	Stats      relocate.Stats  `json:"stats"`
 	PortCycles uint64          `json:"port_cycles"`
 	LastTick   float64         `json:"last_tick"`
+	// Quarantined lists the configuration frames masked out after persistent
+	// write failures; recovery re-applies the mask (frame filter plus area
+	// quarantine) before anything is delivered. Absent in pre-quarantine
+	// journals, which decode to an empty mask.
+	Quarantined []fabric.FrameAddr `json:"quarantined,omitempty"`
 }
 
 // TailOp is an operation whose records reach the end of the journal without

@@ -75,6 +75,21 @@ type Stats struct {
 	// both stay zero.
 	OverlappedOps   int
 	SerialFallbacks int
+	// Fault-tolerance layer counters (the facade's retry/quarantine/scrub
+	// ladder). RetrySeconds and ScrubSeconds are the transport time spent
+	// on re-delivery and on scrubbing; both are accounted here and
+	// compensated out of the port's cycle counter, so the foreground
+	// accounting (PortSeconds, Elapsed, Cycles) stays bit-identical to a
+	// fault-free twin's.
+	FaultsDetected    int
+	FaultRetries      int
+	RetriesExhausted  int
+	FramesQuarantined int
+	DesignsEvacuated  int
+	ScrubChecked      int
+	ScrubRepairs      int
+	RetrySeconds      float64
+	ScrubSeconds      float64
 }
 
 // CellMove reports one completed cell relocation.

@@ -70,6 +70,32 @@ type FrameTool struct {
 	burstsDone   uint64
 	streamingSet map[fabric.FrameAddr]bool
 
+	// Retry, when set, is the transport fault-tolerance delegate: every
+	// stream error surfacing at AwaitStream is handed to it together with
+	// the unharvested frame set, and a nil return absorbs the fault. The
+	// run-time manager's re-delivery ladder hangs here — AwaitStream is the
+	// single point transport faults of the batched pipeline surface, whether
+	// at an operation's harvest, the stage gate's serial drain, or the
+	// engine's disjointness fallback. The delegate must not call back into
+	// AwaitStream (it re-delivers through the port directly).
+	Retry func(cause error, addrs []fabric.FrameAddr) error
+	// unharvested accumulates the distinct frames of every burst enqueued
+	// since the last clean AwaitStream — the conservative re-delivery
+	// superset: the drain counts failed bursts completed, so a sticky
+	// stream error cannot name the burst it belongs to, but every burst
+	// with an unconfirmed outcome is in this set. Under write-through
+	// staging, re-sending the whole set from the shadow is correct (an
+	// already-delivered frame gets a glitch-free identical rewrite).
+	unharvested    []fabric.FrameAddr
+	unharvestedSet map[fabric.FrameAddr]bool
+
+	// quarantined frames are condemned configuration memory: staged writes
+	// to them still update the shadow and the device model (the host view
+	// stays coherent), but Flush silently drops them from port delivery and
+	// the cautious readback mode skips them — nothing live may depend on a
+	// quarantined frame (the area manager's mask guarantees that).
+	quarantined map[fabric.FrameAddr]bool
+
 	sink ViewSink
 
 	// barrier, when set, observes the flush ordering: PreDeliver fires
@@ -235,6 +261,20 @@ func (ft *FrameTool) SyncDeclared(cells []fabric.CellRef, nodes []fabric.NodeID,
 	return nil
 }
 
+// QuarantineFrame permanently excludes a frame from port delivery. The
+// caller (the facade's fault-tolerance layer) has established that writes to
+// the frame fail persistently and has masked the corresponding logic out of
+// the area manager; from here on the tool treats the frame as dead memory.
+func (ft *FrameTool) QuarantineFrame(addr fabric.FrameAddr) {
+	if ft.quarantined == nil {
+		ft.quarantined = make(map[fabric.FrameAddr]bool)
+	}
+	ft.quarantined[addr] = true
+}
+
+// FrameQuarantined reports whether a frame is excluded from port delivery.
+func (ft *FrameTool) FrameQuarantined(addr fabric.FrameAddr) bool { return ft.quarantined[addr] }
+
 // Port returns the configuration port.
 func (ft *FrameTool) Port() bitstream.Port { return ft.port }
 
@@ -301,7 +341,7 @@ func (ft *FrameTool) Apply(edits []Edit) error {
 		if err := ft.AwaitStream(); err != nil {
 			return err
 		}
-		if ft.ReadbackVerify {
+		if ft.ReadbackVerify && !ft.quarantined[addr] {
 			got, err := ft.port.ReadFrame(addr)
 			if err != nil {
 				return fmt.Errorf("relocate: readback of %v: %w", addr, err)
@@ -394,6 +434,19 @@ func (ft *FrameTool) Flush() error {
 		}
 		return addrs[i].Minor < addrs[j].Minor
 	})
+	if len(ft.quarantined) > 0 {
+		kept := addrs[:0]
+		for _, addr := range addrs {
+			if !ft.quarantined[addr] {
+				kept = append(kept, addr)
+			}
+		}
+		if addrs = kept; len(addrs) == 0 {
+			// Everything staged was condemned memory; the device model took
+			// the writes at stage time and nothing ships.
+			return nil
+		}
+	}
 	updates := make([]bitstream.FrameUpdate, 0, len(addrs))
 	for _, addr := range addrs {
 		data, ok := ft.shadow.Frame(addr)
@@ -417,6 +470,13 @@ func (ft *FrameTool) Flush() error {
 		// burst completes (pruneStreams) or the stream is awaited.
 		for _, addr := range addrs {
 			ft.streamingSet[addr] = true
+			if !ft.unharvestedSet[addr] {
+				if ft.unharvestedSet == nil {
+					ft.unharvestedSet = make(map[fabric.FrameAddr]bool)
+				}
+				ft.unharvestedSet[addr] = true
+				ft.unharvested = append(ft.unharvested, addr)
+			}
 		}
 		ft.streamBursts = append(ft.streamBursts, addrs)
 		ft.async.StreamUpdates(updates)
@@ -444,6 +504,24 @@ func (ft *FrameTool) Flush() error {
 	return nil
 }
 
+// drainSuperseded drains an in-flight stream whose outcome no longer
+// matters — a rollback is about to overwrite whatever it delivered. The
+// error is discarded and the Retry delegate is bypassed: re-delivering a
+// superseded stream would only waste transport time and double-count the
+// fault the rollback is already answering for.
+func (ft *FrameTool) drainSuperseded() {
+	retry := ft.Retry
+	ft.Retry = nil
+	_ = ft.AwaitStream()
+	ft.Retry = retry
+	// The superseded content is confirmed-or-overwritten either way; the
+	// unharvested set must not leak into a later fault's re-delivery.
+	ft.unharvested = nil
+	if len(ft.unharvestedSet) > 0 {
+		clear(ft.unharvestedSet)
+	}
+}
+
 // pruneStreams retires the frames of every burst the background worker has
 // finished shifting out since the last check — the non-blocking side of the
 // in-flight tracking.
@@ -463,7 +541,11 @@ func (ft *FrameTool) pruneStreams() {
 
 // AwaitStream blocks until every burst Flush enqueued has shifted out and
 // returns the first transport error among them, clearing the streaming set
-// either way. A no-op on a synchronous port or when nothing is in flight.
+// either way. A stream error is first offered to the Retry delegate (when
+// one is installed) with the unharvested frame set; a clean harvest —
+// including one the delegate salvaged — confirms every enqueued burst and
+// empties the set. A no-op on a synchronous port or when nothing is in
+// flight.
 func (ft *FrameTool) AwaitStream() error {
 	if ft.async == nil {
 		return nil
@@ -473,6 +555,15 @@ func (ft *FrameTool) AwaitStream() error {
 	ft.burstsDone = ft.async.CompletedBursts()
 	if len(ft.streamingSet) > 0 {
 		clear(ft.streamingSet)
+	}
+	if err != nil && ft.Retry != nil {
+		err = ft.Retry(err, ft.unharvested)
+	}
+	if err == nil {
+		ft.unharvested = nil
+		if len(ft.unharvestedSet) > 0 {
+			clear(ft.unharvestedSet)
+		}
 	}
 	return err
 }
@@ -577,7 +668,7 @@ func (ft *FrameTool) BeginSnapshot() (*bitstream.Snapshot, error) {
 // synchronises so designer-path writes since the checkpoint are part of the
 // dirty set.
 func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
-	_ = ft.AwaitStream()
+	ft.drainSuperseded()
 	if err := ft.sync(); err != nil {
 		return nil, err
 	}
@@ -592,7 +683,7 @@ func (ft *FrameTool) RecoveryWords(snap *bitstream.Snapshot) ([]uint32, error) {
 // picture from exactly those frames instead of rescanning the device. The
 // snapshot stays armed, so the same checkpoint can back another attempt.
 func (ft *FrameTool) CompleteRestore(snap *bitstream.Snapshot) {
-	_ = ft.AwaitStream() // see RecoveryWords: a rollback supersedes the stream
+	ft.drainSuperseded() // see RecoveryWords: a rollback supersedes the stream
 	dirty := snap.Frames()
 	ft.AbortPending()
 	snap.Rollback()

@@ -28,6 +28,11 @@ type sysJournal struct {
 	// first one journaled (which is the checkpoint-epoch content — retries
 	// inside one op re-dirty frames without changing their epoch image).
 	seen map[fabric.FrameAddr]bool
+	// path/rotate drive opt-in journal rotation (WithJournalRotation): after
+	// a commit seal, a file past rotate bytes is compacted in place. path is
+	// empty when the journal was attached without a known file path.
+	path   string
+	rotate int64
 }
 
 // sysBarrier adapts the System to the frame tool's flush-ordering barrier.
@@ -168,6 +173,11 @@ func (s *System) journalCommitLocked() error {
 	dirty := js.cp.snap.Frames()
 	digests := make([]journal.FrameDigest, 0, len(dirty))
 	for _, addr := range dirty {
+		if s.quarantined[addr] {
+			// Condemned memory reads back garbage; a digest over it could
+			// never match and would force recovery into a spurious roll-back.
+			continue
+		}
 		data, ok := s.engine.Tool.Shadow().Frame(addr)
 		if !ok {
 			return fmt.Errorf("rlm: journal digest: frame %v missing from shadow", addr)
@@ -193,7 +203,30 @@ func (s *System) journalCommitLocked() error {
 	js.cp = nil
 	js.seen = nil
 	s.crash("commit")
+	s.maybeRotateLocked()
 	return nil
+}
+
+// maybeRotateLocked compacts the journal file in place once it has grown
+// past the opt-in rotation threshold. It runs only on a freshly sealed
+// commit — never with an open tail, so the file Compact sees is sealed by
+// construction. Best-effort: a failed compaction keeps appending to the
+// original file; a failed reopen leaves the journal closed, so the next
+// journaled operation fails with a typed error instead of losing records
+// silently.
+func (s *System) maybeRotateLocked() {
+	js := s.jrnl
+	if js == nil || js.rotate <= 0 || js.path == "" || js.j.Offset() < js.rotate {
+		return
+	}
+	validLen := js.j.Offset()
+	js.j.Close()
+	if n, err := journal.Compact(js.path); err == nil {
+		validLen = n
+	}
+	if j, err := journal.OpenAppend(js.path, validLen); err == nil {
+		js.j = j
+	}
 }
 
 // journalAbortLocked seals the active operation as rolled back (the physical
@@ -278,5 +311,15 @@ func (s *System) journalStateLocked() journal.State {
 		st.Allocs = append(st.Allocs, journal.Alloc{ID: a.ID, Rect: a.Rect})
 	}
 	st.NextAlloc = next
+	for addr := range s.quarantined {
+		st.Quarantined = append(st.Quarantined, addr)
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool {
+		a, b := st.Quarantined[i], st.Quarantined[j]
+		if a.Major != b.Major {
+			return a.Major < b.Major
+		}
+		return a.Minor < b.Minor
+	})
 	return st
 }

@@ -1,6 +1,8 @@
 package rlm
 
 import (
+	"time"
+
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
 	"repro/internal/template"
@@ -28,6 +30,10 @@ type config struct {
 	portFactory  func(*bitstream.Controller) bitstream.Port
 	tmplPolicy   *template.Policy
 	journalPath  string
+	retry        *RetryPolicy
+	scrubEvery   time.Duration
+	scrubBatch   int
+	journalRot   int64
 }
 
 // Option configures a System at construction time.
@@ -95,7 +101,45 @@ func WithJournal(path string) Option {
 
 // WithPortModel substitutes a custom configuration port built over the
 // system's controller — fault-injection harnesses wrap the stock ports this
-// way (e.g. a port that fails mid-stream to exercise rollback).
+// way (internal/faultport is the stock wrapper). A system built this way
+// journals its port kind as "custom"; rlm.Recover of such a journal needs
+// the factory passed again as a recover option (the journal cannot persist
+// a closure) and falls back to Boundary-Scan when it is not.
 func WithPortModel(factory func(*bitstream.Controller) bitstream.Port) Option {
 	return func(c *config) { c.portFactory = factory }
+}
+
+// WithRetryPolicy arms the facade's fault-tolerance ladder: when an
+// operation's harvest surfaces a transport fault, the frames of the
+// operation are re-delivered from the host shadow up to MaxRetries times
+// (with doubling backoff), escalating to readback-verify; only when every
+// attempt fails does the operation roll back — and frames that failed the
+// verify are quarantined, with resident designs evacuated. Without this
+// option any transport fault strictly rolls the operation back (the
+// pre-PR-8 behaviour).
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) { c.retry = &p }
+}
+
+// WithScrubber starts the background configuration-memory scrubber: every
+// interval, a maintenance pass readback-compares a batch of frames against
+// the golden shadow content (the same bits the journal's dirty-frame digests
+// attest) and rewrites any frame that silently diverged (the SEU model),
+// emitting ScrubRepair events. The scrubber yields to foreground work — a
+// pass is skipped while an operation's stream is in flight — and its
+// transport traffic is compensated out of the port's cycle accounting
+// (reported as Stats.ScrubSeconds instead). Stop it with System.Close.
+// batchFrames bounds the frames checked per pass (0 = a default of 32).
+func WithScrubber(interval time.Duration, batchFrames int) Option {
+	return func(c *config) { c.scrubEvery, c.scrubBatch = interval, batchFrames }
+}
+
+// WithJournalRotation enables automatic journal compaction: after a commit
+// seal, if the journal file exceeds limitBytes it is compacted in place
+// (journal.Compact — the sealed history collapses into one Init + state
+// snapshot) and appending resumes on the compacted file. Off by default:
+// rotation rewrites the file, which breaks byte-offset-based external
+// observers of a live journal; opt in for long-running systems.
+func WithJournalRotation(limitBytes int64) Option {
+	return func(c *config) { c.journalRot = limitBytes }
 }

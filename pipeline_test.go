@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/faultport"
 	"repro/internal/itc99"
 	"repro/internal/jtag"
 )
@@ -185,55 +186,17 @@ func pickResident(rng *rand.Rand, resident map[string]bool) string {
 	return names[rng.Intn(len(names))]
 }
 
-// flakyAsyncPort wraps the Boundary-Scan port and injects a mid-stream
-// failure into the PIPELINED delivery path: once the frame budget is
-// exhausted, a staged burst is truncated to its surviving prefix and the
-// transport error surfaces at the next AwaitStream — the asynchronous
-// analogue of the serial flaky-port used by the checkpoint property tests.
-type flakyAsyncPort struct {
-	*jtag.Port
-	budget int // frames still deliverable; < 0 = unlimited
-	err    error
-}
-
-func (f *flakyAsyncPort) StreamUpdates(updates []bitstream.FrameUpdate) {
-	if f.budget < 0 {
-		f.Port.StreamUpdates(updates)
-		return
-	}
-	if len(updates) <= f.budget {
-		f.budget -= len(updates)
-		f.Port.StreamUpdates(updates)
-		return
-	}
-	k := f.budget
-	f.budget = 0
-	if k > 0 {
-		f.Port.StreamUpdates(updates[:k])
-	}
-	if f.err == nil {
-		f.err = fmt.Errorf("flaky async port: injected failure after %d frames", k)
-	}
-}
-
-func (f *flakyAsyncPort) AwaitStream() error {
-	err := f.Port.AwaitStream()
-	if err == nil {
-		err = f.err
-	}
-	f.err = nil
-	return err
-}
-
 // TestPipelinedPlanRollsBackOnMidStreamFailure: a transport failure of a
 // background shift-out must fail the whole transaction and roll device and
 // book-keeping back to the pre-commit checkpoint — even though the failing
-// burst was enqueued long before the error surfaced at a harvest point.
+// burst was enqueued long before the error surfaced at a harvest point. The
+// mid-stream fault comes from internal/faultport, the shared fault model
+// (this test predates it and used its own flaky wrapper).
 func TestPipelinedPlanRollsBackOnMidStreamFailure(t *testing.T) {
-	var flaky *flakyAsyncPort
+	var flaky *faultport.Port
 	sys, err := New(WithDevice(fabric.XCV50),
 		WithPortModel(func(ctrl *bitstream.Controller) bitstream.Port {
-			flaky = &flakyAsyncPort{Port: jtag.NewPort(ctrl, jtag.DefaultTCKHz), budget: -1}
+			flaky = faultport.New(jtag.NewPort(ctrl, jtag.DefaultTCKHz), 1)
 			return flaky
 		}))
 	if err != nil {
@@ -251,12 +214,12 @@ func TestPipelinedPlanRollsBackOnMidStreamFailure(t *testing.T) {
 
 	snapshot := readAllFrames(t, sys.Device())
 	for _, budget := range []int{0, 2, 9, 25} {
-		flaky.budget = budget
+		flaky.TripAfter(budget)
 		err := sys.Plan().Move("vic", away).Move("vic", home).Commit()
 		if err == nil {
 			t.Fatalf("budget %d: commit survived the flaky port", budget)
 		}
-		flaky.budget = -1
+		flaky.Disarm() // the trip self-disarms; this also covers budgets past the plan's frame count
 		if got := readAllFrames(t, sys.Device()); !framesEqual(got, snapshot) {
 			t.Fatalf("budget %d: configuration not restored after rollback", budget)
 		}

@@ -133,15 +133,13 @@ func (p *Plan) Commit() error {
 		// Harvest the pipelined shift-out before the commit is declared
 		// done: ops overlapped their planning with earlier ops' streams,
 		// and a transport failure anywhere in the plan fails the whole
-		// transaction.
-		execErr = s.engine.Tool.AwaitStream()
-	}
-	if execErr == nil {
-		execErr = s.journalCommitLocked()
+		// transaction — unless the retry ladder re-delivers it.
+		execErr = s.finishOpLocked(snap)
 	}
 	if execErr != nil {
 		s.restoreLocked(snap, execErr)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return execErr
 	}
 	return nil

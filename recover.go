@@ -154,6 +154,9 @@ func Recover(dev *fabric.Device, journalPath string, opts ...Option) (*System, *
 		cp.RestoreCycles(freshCycles)
 	}
 	s.attachJournal(j, rs.LastSeq)
+	s.jrnl.path = journalPath
+	s.jrnl.rotate = cfg.journalRot
+	s.startScrubber(cfg.scrubEvery, cfg.scrubBatch)
 	return s, rep, nil
 }
 
@@ -294,6 +297,12 @@ func (s *System) installState(st *journal.State) error {
 		if err := s.area.Restore(allocs, st.NextAlloc); err != nil {
 			return fmt.Errorf("%w: %v", journal.ErrMalformed, err)
 		}
+	}
+	// Re-apply the journaled quarantine mask before anything else delivers
+	// frames: the frame filter and the area mask are permanent, and the
+	// journaled Stats already count the quarantine (record off).
+	if len(st.Quarantined) > 0 {
+		s.quarantineFramesLocked(st.Quarantined, false)
 	}
 	// Capture the reconciled device into the tool's shadow (the paper's
 	// complete configuration copy) and rebuild routing occupancy from it.

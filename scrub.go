@@ -1,0 +1,157 @@
+package rlm
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/bitstream"
+	"repro/internal/fabric"
+)
+
+// This file is the configuration-memory scrubber: a maintenance pass that
+// readback-compares frames against the golden shadow content — the same bits
+// the journal's dirty-frame digests attest — and rewrites any frame that
+// silently diverged (the single-event-upset model: a bit flips in the
+// configuration memory with no transport error to announce it). The journal
+// digests catch corruption of an operation's own frames at its commit
+// boundary; the scrubber is the steady-state complement, sweeping the whole
+// device round-robin between operations.
+
+// ScrubReport summarises one scrub pass.
+type ScrubReport struct {
+	// FramesChecked counts the frames read back and compared this pass.
+	FramesChecked int
+	// Repairs lists the frames found diverging and rewritten.
+	Repairs []fabric.FrameAddr
+	// Skipped reports that the pass yielded without checking anything
+	// because a foreground operation's stream was in flight (the frame-set
+	// conflict gate: the scrubber must not race the port with a live burst).
+	Skipped bool
+}
+
+// Scrub runs one scrub pass over at most maxFrames frames (0 sweeps the
+// whole device), resuming round-robin where the previous pass stopped. The
+// pass yields — returns with Skipped set — when a background stream is in
+// flight. Scrub transport traffic is compensated out of the port's cycle
+// accounting and reported as Stats.ScrubSeconds, so foreground accounting
+// stays bit-identical to an unscrubbed twin's.
+func (s *System) Scrub(maxFrames int) (*ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrubLocked(maxFrames)
+}
+
+func (s *System) scrubLocked(maxFrames int) (*ScrubReport, error) {
+	rep := &ScrubReport{}
+	if s.engine.Tool.StreamInFlight() {
+		rep.Skipped = true
+		return rep, nil
+	}
+	addrs := s.scrubAddrsLocked()
+	if len(addrs) == 0 {
+		return rep, nil
+	}
+	if maxFrames <= 0 || maxFrames > len(addrs) {
+		maxFrames = len(addrs)
+	}
+	err := s.compensatePort(&s.engine.Stats.ScrubSeconds, func() error {
+		for i := 0; i < maxFrames; i++ {
+			addr := addrs[s.scrubCursor%len(addrs)]
+			s.scrubCursor = (s.scrubCursor + 1) % len(addrs)
+			if s.quarantined[addr] {
+				continue
+			}
+			want, ok := s.engine.Tool.Shadow().Frame(addr)
+			if !ok {
+				continue
+			}
+			got, err := s.port.ReadFrame(addr)
+			if err != nil {
+				return err
+			}
+			rep.FramesChecked++
+			s.engine.Stats.ScrubChecked++
+			if frameWordsEqual(got, want) {
+				continue
+			}
+			if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: want}}); err != nil {
+				return err
+			}
+			rep.Repairs = append(rep.Repairs, addr)
+			s.engine.Stats.ScrubRepairs++
+			s.publish(Event{Kind: ScrubRepair, Frame: addr})
+		}
+		return nil
+	})
+	return rep, err
+}
+
+// scrubAddrsLocked returns the device's full frame address space in address
+// order, built once and cached (the geometry never changes).
+func (s *System) scrubAddrsLocked() []fabric.FrameAddr {
+	if s.scrubAddrs != nil {
+		return s.scrubAddrs
+	}
+	var addrs []fabric.FrameAddr
+	for major := 0; major < s.dev.NumMajors(); major++ {
+		col, ok := s.dev.ColumnByMajor(major)
+		if !ok {
+			continue
+		}
+		for minor := 0; minor < col.Frames; minor++ {
+			addrs = append(addrs, fabric.FrameAddr{Major: major, Minor: minor})
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		if addrs[i].Major != addrs[j].Major {
+			return addrs[i].Major < addrs[j].Major
+		}
+		return addrs[i].Minor < addrs[j].Minor
+	})
+	s.scrubAddrs = addrs
+	return addrs
+}
+
+// startScrubber launches the background scrub goroutine WithScrubber asked
+// for. Idempotent-safe at construction time only (called once from New or
+// Recover, after the system is fully built).
+func (s *System) startScrubber(interval time.Duration, batch int) {
+	if interval <= 0 {
+		return
+	}
+	if batch <= 0 {
+		batch = 32
+	}
+	s.scrubStop = make(chan struct{})
+	s.scrubDone = make(chan struct{})
+	go func() {
+		defer close(s.scrubDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.scrubStop:
+				return
+			case <-t.C:
+				// Errors are not fatal to the scrubber: a pass that trips on
+				// a transport fault simply retries next tick (a persistent
+				// one is the retry ladder's business, on the foreground path).
+				_, _ = s.Scrub(batch)
+			}
+		}
+	}()
+}
+
+// Close stops the background scrubber (if one was started) and waits for it
+// to exit. Safe to call on a system built without WithScrubber, and safe to
+// call more than once. It does not close the journal — the journal's file
+// lifetime follows the process, as before.
+func (s *System) Close() error {
+	s.closeOnce.Do(func() {
+		if s.scrubStop != nil {
+			close(s.scrubStop)
+			<-s.scrubDone
+		}
+	})
+	return nil
+}

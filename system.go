@@ -69,6 +69,26 @@ type System struct {
 	// journal.go for the write-ahead protocol and recover.go for the crash
 	// reconciliation path.
 	jrnl *sysJournal
+
+	// retry, when non-nil, arms the transport fault-tolerance ladder (see
+	// fault.go): harvest faults re-deliver from the shadow instead of
+	// immediately rolling the operation back.
+	retry *RetryPolicy
+	// quarantined is the set of configuration frames condemned after
+	// persistent write failures — permanently masked out of port delivery
+	// and (for CLB columns) out of the area manager's logic space.
+	quarantined map[fabric.FrameAddr]bool
+	// pendingBad holds frames the retry ladder's final verify condemned,
+	// consumed by quarantineSweepLocked after the failed op rolls back.
+	pendingBad []fabric.FrameAddr
+
+	// Scrubber state (see scrub.go): the cached frame address space, the
+	// round-robin cursor, and the background goroutine's lifecycle.
+	scrubAddrs  []fabric.FrameAddr
+	scrubCursor int
+	scrubStop   chan struct{}
+	scrubDone   chan struct{}
+	closeOnce   sync.Once
 	// onDelivered observes every frame delivery (and rollback recovery
 	// stream) — the crash-torture harness mirrors the fabric from it.
 	onDelivered func([]bitstream.FrameUpdate)
@@ -104,11 +124,14 @@ func New(opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("rlm: opening journal: %w", err)
 		}
 		sys.attachJournal(j, 0)
+		sys.jrnl.path = cfg.journalPath
+		sys.jrnl.rotate = cfg.journalRot
 		if err := sys.journalInit(&cfg); err != nil {
 			j.Close()
 			return nil, fmt.Errorf("rlm: initialising journal: %w", err)
 		}
 	}
+	sys.startScrubber(cfg.scrubEvery, cfg.scrubBatch)
 	return sys, nil
 }
 
@@ -145,7 +168,7 @@ func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 	if cfg.tmplPolicy != nil {
 		tmpl = template.NewStore(*cfg.tmplPolicy)
 	}
-	return &System{
+	sys := &System{
 		dev:     dev,
 		ctrl:    ctrl,
 		port:    port,
@@ -156,8 +179,11 @@ func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 		designs: map[string]*place.Design{},
 		regions: map[string]int{},
 		tmpl:    tmpl,
+		retry:   cfg.retry,
 		subs:    map[int]chan Event{},
-	}, nil
+	}
+	sys.armRetryLadder()
+	return sys, nil
 }
 
 // Device returns the simulated device. The returned object is shared with
@@ -282,9 +308,10 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 			return nil, err
 		}
 		if handled {
-			if err := s.journalCommitLocked(); err != nil {
+			if err := s.finishLoadLocked(snap); err != nil {
 				s.restoreLocked(snap, err)
 				s.journalAbortLocked()
+				s.quarantineSweepLocked()
 				return nil, err
 			}
 			return d, nil
@@ -295,14 +322,16 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 	if err != nil {
 		s.restoreLocked(snap, err)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return nil, err
 	}
 	if s.tmpl != nil {
 		s.captureTemplateLocked(d)
 	}
-	if err := s.journalCommitLocked(); err != nil {
+	if err := s.finishLoadLocked(snap); err != nil {
 		s.restoreLocked(snap, err)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return nil, err
 	}
 	return d, nil
@@ -321,7 +350,11 @@ func (s *System) checkLoadLocked(nl *netlist.Netlist, region fabric.Rect) (fabri
 			return region, fmt.Errorf("%w: auto-sizing %q", ErrNoSpace, nl.Name)
 		}
 	} else if !s.area.Fits(region) {
-		// Fail fast before anything touches the fabric.
+		// Fail fast before anything touches the fabric; name the cause —
+		// condemned logic space is permanent, a busy region is not.
+		if s.area.QuarantineOverlaps(region) {
+			return region, fmt.Errorf("%w: %v for %q", ErrQuarantined, region, nl.Name)
+		}
 		return region, fmt.Errorf("%w: %v for %q", ErrRegionBusy, region, nl.Name)
 	}
 	return region, nil
@@ -416,15 +449,13 @@ func (s *System) Unload(name string) error {
 	if err == nil {
 		// Harvest the batched stream before the checkpoint closes: a
 		// transport failure of the background shift-out belongs to this
-		// operation and must roll it back.
-		err = s.engine.Tool.AwaitStream()
-	}
-	if err == nil {
-		err = s.journalCommitLocked()
+		// operation — the retry ladder engages here when armed.
+		err = s.finishOpLocked(snap)
 	}
 	if err != nil {
 		s.restoreLocked(snap, err)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return fmt.Errorf("rlm: unloading %q: %w", name, err)
 	}
 	return nil
@@ -534,14 +565,12 @@ func (s *System) moveLocked(name string, to fabric.Rect) error {
 	}
 	err = s.moveRaw(name, to)
 	if err == nil {
-		err = s.engine.Tool.AwaitStream() // harvest before the checkpoint closes
-	}
-	if err == nil {
-		err = s.journalCommitLocked()
+		err = s.finishOpLocked(snap) // harvest before the checkpoint closes
 	}
 	if err != nil {
 		s.restoreLocked(snap, err)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return err
 	}
 	return nil
@@ -557,6 +586,9 @@ func (s *System) checkMoveLocked(name string, to fabric.Rect) error {
 		return fmt.Errorf("%w: target %v, design %v", ErrRegionMismatch, to, d.Region)
 	}
 	if !s.area.CanMove(s.regions[name], to) {
+		if s.area.QuarantineOverlaps(to) {
+			return fmt.Errorf("%w: %v", ErrQuarantined, to)
+		}
 		return fmt.Errorf("%w: %v", ErrRegionBusy, to)
 	}
 	return nil
@@ -673,13 +705,11 @@ func (s *System) moveStagedLocked(name string, to fabric.Rect, maxStep int) erro
 			return err
 		}
 	}
-	err = s.engine.Tool.AwaitStream()
-	if err == nil {
-		err = s.journalCommitLocked()
-	}
+	err = s.finishOpLocked(snap)
 	if err != nil {
 		s.restoreLocked(snap, err)
 		s.journalAbortLocked()
+		s.quarantineSweepLocked()
 		return err
 	}
 	return nil
