@@ -1,4 +1,4 @@
-.PHONY: test race bench bench-baseline cover lint fuzz torture
+.PHONY: test race bench bench-baseline cover lint fuzz torture soak
 
 test:
 	go build ./... && go test ./...
@@ -12,6 +12,13 @@ race:
 torture:
 	go test -race -run 'TestCrashConsistency|TestRecover' repro
 	go test -race -run 'TestChaosRetry|TestPersistentFault|TestScrub|TestBackgroundScrubber|TestCrashDuringRetry' repro
+
+# The self-healing chaos soak at full length (CI runs the short-mode variant
+# inside the fault-torture step): background scrubber + fault plan +
+# defragmentation + mid-soak crash recovery, converging to a state
+# bit-identical to a fault-free twin, under race.
+soak:
+	go test -race -run 'TestChaosSoakSelfHealing|TestScrubPreemptiveQuarantine|TestStallWatchdog|TestDegradedAdmission|TestCloseUnderLoad' repro
 
 # The exact command the CI bench lane runs (keep the two in sync: the
 # regression gate compares like against like).

@@ -24,6 +24,12 @@
 // those belong to rlm.Recover):
 //
 //	fratool journal compact ops.journal more.journal
+//
+// The health subcommand prints the per-column health ledger the journal's
+// last committed state carries (the self-healing layer's column states,
+// error rates and probe history), plus the quarantined frame mask:
+//
+//	fratool health ops.journal
 package main
 
 import (
@@ -49,6 +55,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "journal" {
 		journalCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "health" {
+		healthCmd(os.Args[2:])
 		return
 	}
 	var (
@@ -301,6 +311,42 @@ func journalCmd(args []string) {
 		fail(err)
 		fmt.Printf("%-30s %8d -> %8d bytes (%.0f%%)\n",
 			path, before, after, 100*float64(after)/float64(before))
+	}
+}
+
+// healthCmd prints the health ledger of a journal's last committed state:
+// one row per column that ever produced evidence, plus the quarantine mask
+// summary. Works on live and compacted journals; an unsealed tail is
+// reported but not reconciled (that is rlm.Recover's job).
+func healthCmd(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "fratool health: usage: fratool health JOURNAL")
+		os.Exit(2)
+	}
+	log, err := journal.Scan(args[0])
+	fail(err)
+	rs, err := journal.Replay(log)
+	fail(err)
+	st := &rs.State
+	fmt.Printf("%s: state seq %d, %d design(s), %d quarantined frame(s)\n",
+		args[0], st.Seq, len(st.Designs), len(st.Quarantined))
+	if rs.Tail != nil {
+		fmt.Printf("  note: unsealed tail op %d (%s); the ledger below is the last committed state\n",
+			rs.Tail.Begin.Seq, rs.Tail.Begin.Op)
+	}
+	if len(st.Health) == 0 {
+		fmt.Println("  no health ledger: no column ever produced evidence")
+		return
+	}
+	stateNames := []string{"healthy", "suspect", "quarantined", "probation"}
+	fmt.Println("  column  state        rate    probes  fails  repairs  clean-probes  clean-checks")
+	for _, h := range st.Health {
+		name := fmt.Sprintf("state(%d)", h.State)
+		if int(h.State) < len(stateNames) {
+			name = stateNames[h.State]
+		}
+		fmt.Printf("  F%-5d  %-11s %6.4f  %6d  %5d  %7d  %12d  %12d\n",
+			h.Major, name, h.Rate, h.Probes, h.ProbeFails, h.Repairs, h.CleanProbes, h.CleanChecks)
 	}
 }
 

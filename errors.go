@@ -1,6 +1,10 @@
 package rlm
 
-import "errors"
+import (
+	"errors"
+
+	"repro/internal/relocate"
+)
 
 // Sentinel errors returned by the run-time manager. Every error that leaves
 // the public API wraps one of these, so callers dispatch with errors.Is
@@ -29,4 +33,14 @@ var (
 	// ErrQuarantined: the requested rectangle overlaps logic space that was
 	// masked out after persistent configuration-frame failures.
 	ErrQuarantined = errors.New("rlm: target region overlaps quarantined logic space")
+	// ErrDegraded: healthy logic capacity is below the health policy's
+	// admission watermark; Load and Plan fail fast instead of thrashing
+	// placement retries on a mostly-condemned device.
+	ErrDegraded = errors.New("rlm: healthy capacity below admission watermark")
 )
+
+// ErrPortStalled re-exports the frame tool's stall-watchdog sentinel: the
+// configuration port failed to harvest an in-flight stream within the
+// WithStallTimeout deadline. It surfaces wrapped in the same places any
+// transport fault does (and feeds the retry ladder when one is armed).
+var ErrPortStalled = relocate.ErrPortStalled

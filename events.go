@@ -59,6 +59,21 @@ const (
 	// ScrubRepair: the background scrubber found a frame diverging from the
 	// golden shadow content and rewrote it (Frame names it).
 	ScrubRepair
+	// FrameSuspect: the health tracker's error rate for a column crossed
+	// the suspect threshold (Frame.Major names the column). Advisory: the
+	// column stays in service.
+	FrameSuspect
+	// QuarantineReleased: a quarantined column passed its probes and was
+	// released back into the logic space on probation (Frame.Major names
+	// the column).
+	QuarantineReleased
+	// ProbeFailed: a test-pattern probe of a quarantined column failed
+	// (Frame names the frame that failed); the release streak resets.
+	ProbeFailed
+	// CapacityChanged: the healthy/quarantined/probation capacity split
+	// moved (a column was condemned or released); Capacity carries the
+	// new census.
+	CapacityChanged
 )
 
 var eventKindNames = [...]string{
@@ -68,6 +83,8 @@ var eventKindNames = [...]string{
 	"design-translated",
 	"fault-detected", "retry-succeeded", "retries-exhausted",
 	"frame-quarantined", "design-evacuated", "scrub-repair",
+	"frame-suspect", "quarantine-released", "probe-failed",
+	"capacity-changed",
 }
 
 func (k EventKind) String() string {
@@ -87,8 +104,19 @@ type Event struct {
 	CLBFrom, CLBTo fabric.Coord
 	Steps          int              // planned design moves (Rearrange*), or retry attempts
 	CLBs           int              // CLBs physically relocated (RearrangeFinished)
-	Frame          fabric.FrameAddr // frame involved (FrameQuarantined, ScrubRepair)
+	Frame          fabric.FrameAddr // frame involved (FrameQuarantined, ScrubRepair, health events)
+	Capacity       Capacity         // capacity census (CapacityChanged)
 	Err            error            // failure that triggered the event (Recovered, FaultDetected)
+}
+
+// Capacity is the logic-space capacity census a CapacityChanged event
+// carries: CLBs in service and healthy, CLBs masked out by quarantine, and
+// CLBs back in service on probation (counted inside HealthyCLBs too —
+// probation columns take placements).
+type Capacity struct {
+	HealthyCLBs     int
+	QuarantinedCLBs int
+	ProbationCLBs   int
 }
 
 func (e Event) String() string {
@@ -120,6 +148,13 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s F%d.%d", e.Kind, e.Frame.Major, e.Frame.Minor)
 	case DesignEvacuated:
 		return fmt.Sprintf("%s %s %v -> %v", e.Kind, e.Design, e.From, e.Region)
+	case FrameSuspect, QuarantineReleased:
+		return fmt.Sprintf("%s column F%d", e.Kind, e.Frame.Major)
+	case ProbeFailed:
+		return fmt.Sprintf("%s F%d.%d", e.Kind, e.Frame.Major, e.Frame.Minor)
+	case CapacityChanged:
+		return fmt.Sprintf("%s healthy=%d quarantined=%d probation=%d",
+			e.Kind, e.Capacity.HealthyCLBs, e.Capacity.QuarantinedCLBs, e.Capacity.ProbationCLBs)
 	}
 	return e.Kind.String()
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/health"
 )
 
 // This file is the facade's transport fault-tolerance ladder. With a
@@ -100,6 +101,7 @@ func (s *System) retryDeliveryLocked(cause error, addrs []fabric.FrameAddr) erro
 	pol := *s.retry
 	s.engine.Stats.FaultsDetected++
 	s.publish(Event{Kind: FaultDetected, Err: cause})
+	s.noteFaultEvidenceLocked(addrs)
 	verifyFrom := pol.VerifyAfter
 	if verifyFrom <= 0 {
 		verifyFrom = 2
@@ -133,6 +135,24 @@ func (s *System) retryDeliveryLocked(cause error, addrs []fabric.FrameAddr) erro
 	err = fmt.Errorf("%w after %d attempt(s): %v", ErrRetriesExhausted, pol.MaxRetries, err)
 	s.publish(Event{Kind: RetriesExhausted, Steps: pol.MaxRetries, Err: err})
 	return err
+}
+
+// noteFaultEvidenceLocked feeds a transport fault into the health tracker's
+// per-column error rate, one observation per distinct column of the
+// unharvested set. The only transition fault evidence can drive is
+// healthy → suspect (advisory, no masking), so applying the changes here —
+// inside an active operation — never touches the journal.
+func (s *System) noteFaultEvidenceLocked(addrs []fabric.FrameAddr) {
+	seen := make(map[int]bool)
+	var changes []*health.Change
+	for _, a := range addrs {
+		if seen[a.Major] {
+			continue
+		}
+		seen[a.Major] = true
+		changes = append(changes, s.health.NoteFault(a.Major))
+	}
+	s.applyHealthChangesLocked(changes, true)
 }
 
 // redeliverySetLocked builds the sorted re-delivery set from the unharvested
@@ -225,6 +245,9 @@ func (s *System) quarantineSweepLocked() {
 	}
 	if s.quarantineFramesLocked(bad, true) {
 		s.evacuateLocked()
+		// The mask changed outside any journaled op (the failed op already
+		// sealed its abort); seal the new mask so a crash cannot lose it.
+		s.journalHealthLocked()
 	}
 }
 
@@ -263,9 +286,13 @@ func (s *System) quarantineFramesLocked(bad []fabric.FrameAddr, record bool) boo
 		if col.Kind == fabric.ColCLB {
 			s.area.Quarantine(fabric.Rect{Row: 0, Col: col.ArrayCol, H: s.dev.Rows, W: 1})
 		}
+		// Keep the health ledger in lockstep with the mask (the Change is
+		// discarded: the masking side effects are exactly this code).
+		s.health.Condemn(addr.Major)
 		added = true
 		if record {
 			s.publish(Event{Kind: FrameQuarantined, Frame: addr})
+			s.publish(Event{Kind: CapacityChanged, Capacity: s.capacityLocked()})
 		}
 	}
 	return added

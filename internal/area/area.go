@@ -150,10 +150,13 @@ func (m *Manager) idx(r, c int) int { return r*m.Cols + c }
 // space).
 func (m *Manager) blocked(r, c int) bool { return m.quar != nil && m.quar[m.idx(r, c)] }
 
-// Quarantine masks a rectangle of CLBs out of the logic space permanently:
-// the cells stop counting as free capacity and no placement, allocation or
-// move may cover them. Cells currently under an allocation stay attributed
-// to it until the owner moves or frees — the caller evacuates residents.
+// Quarantine masks a rectangle of CLBs out of the logic space: the cells
+// stop counting as free capacity and no placement, allocation or move may
+// cover them. Cells currently under an allocation stay attributed to it
+// until the owner moves or frees — the caller evacuates residents. The mask
+// is deliberately outside the undo log: Rewind, Restore and Free never lift
+// it; only an explicit Unquarantine (the caller's probe/release cycle)
+// returns capacity to service.
 func (m *Manager) Quarantine(rect fabric.Rect) {
 	if m.quar == nil {
 		m.quar = make([]bool, m.Rows*m.Cols)
@@ -162,6 +165,23 @@ func (m *Manager) Quarantine(rect fabric.Rect) {
 		for c := rect.Col; c < rect.Col+rect.W; c++ {
 			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
 				m.quar[m.idx(r, c)] = true
+			}
+		}
+	}
+}
+
+// Unquarantine lifts the quarantine mask from a rectangle of CLBs,
+// returning the cells to free capacity. The caller (the facade's health
+// lifecycle) has re-verified the underlying configuration memory; like
+// Quarantine, this is outside the undo log and survives Rewind/Restore.
+func (m *Manager) Unquarantine(rect fabric.Rect) {
+	if m.quar == nil {
+		return
+	}
+	for r := rect.Row; r < rect.Row+rect.H; r++ {
+		for c := rect.Col; c < rect.Col+rect.W; c++ {
+			if r >= 0 && r < m.Rows && c >= 0 && c < m.Cols {
+				m.quar[m.idx(r, c)] = false
 			}
 		}
 	}

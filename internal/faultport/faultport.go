@@ -12,8 +12,9 @@
 //     memory;
 //   - silent SEU bit-flips (FlipBit): readback shows the flipped bit, writes
 //     succeed and clear it — the model a scrubber exists to repair;
-//   - stalls (SetStall): wall-clock delay on every burst, a backpressure
-//     model with no cycle-accounting effect.
+//   - stalls (SetStall): wall-clock delay on every harvest (AwaitStream), a
+//     hung-transport model with no cycle-accounting effect — the facade's
+//     stall watchdog exists to bound it.
 //
 // The wrapper exploits the pipeline's write-through staging contract
 // (bitstream.AsyncPort): the device model already holds every frame's final
@@ -130,8 +131,11 @@ func (f *Port) FlipBit(addr fabric.FrameAddr, word, bit int) {
 	}
 }
 
-// SetStall delays every burst delivery by d of wall-clock time (0 disables).
-// Stalls model backpressure only: they never change cycle accounting.
+// SetStall delays every harvest (AwaitStream) by d of wall-clock time
+// (0 disables) — the model of a hung transport that stops responding at
+// exactly the point the host blocks on it. Stalls never change cycle
+// accounting or delivered content; they exist so a stall watchdog has
+// something to catch.
 func (f *Port) SetStall(d time.Duration) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -179,11 +183,7 @@ func (f *Port) inject(updates []bitstream.FrameUpdate) error {
 func (f *Port) WriteUpdates(updates []bitstream.FrameUpdate) error {
 	f.mu.Lock()
 	err := f.inject(updates)
-	stall := f.stall
 	f.mu.Unlock()
-	if stall > 0 {
-		time.Sleep(stall)
-	}
 	if err != nil {
 		return err
 	}
@@ -200,17 +200,20 @@ func (f *Port) StreamUpdates(updates []bitstream.FrameUpdate) {
 	if err := f.inject(updates); err != nil && f.err == nil {
 		f.err = err
 	}
+	f.mu.Unlock()
+	f.inner.StreamUpdates(updates)
+}
+
+// AwaitStream implements bitstream.AsyncPort: it drains the inner queue and
+// surfaces (then clears) any injected sticky error. An armed stall sleeps
+// here, before the drain — the hung-harvest model the watchdog bounds.
+func (f *Port) AwaitStream() error {
+	f.mu.Lock()
 	stall := f.stall
 	f.mu.Unlock()
 	if stall > 0 {
 		time.Sleep(stall)
 	}
-	f.inner.StreamUpdates(updates)
-}
-
-// AwaitStream implements bitstream.AsyncPort: it drains the inner queue and
-// surfaces (then clears) any injected sticky error.
-func (f *Port) AwaitStream() error {
 	err := f.inner.AwaitStream()
 	f.mu.Lock()
 	if err == nil {

@@ -1,0 +1,336 @@
+// Package health tracks the per-column health lifecycle of the
+// configuration fabric: healthy → suspect → quarantined → probation →
+// healthy. The tracker is pure book-keeping — it decides *when* a column
+// changes state from the evidence it is fed (foreground faults, scrub
+// comparisons, scrub repairs, quarantine probes) and reports each decision
+// as a Change; the caller owns the side effects (masking frames, updating
+// the area map, journaling, events).
+//
+// Evidence model:
+//
+//   - NoteFault: a foreground delivery fault touched the column. Bumps an
+//     EWMA error rate; crossing Policy.SuspectAbove marks a healthy column
+//     suspect.
+//   - NoteClean: a scrub readback of a frame in the column matched the
+//     shadow. Decays the EWMA; on a probation column it also counts toward
+//     Policy.ProbationChecks clean checks needed to return to healthy.
+//   - NoteRepair: the scrubber had to repair a frame. Policy.CondemnRepairs
+//     repairs of the *same frame* condemn its column preemptively; any
+//     repair inside a probation column sends it straight back to
+//     quarantined.
+//   - NoteProbe: a test-pattern probe of a quarantined column succeeded or
+//     failed. Policy.ProbesToRelease consecutive clean probes move the
+//     column to probation; a failed probe resets the streak.
+//   - Condemn: unconditional transition to quarantined (retry exhaustion,
+//     recovery replay). Works under any policy, including the zero policy.
+//
+// The zero Policy reproduces the legacy behaviour: no suspect marking, no
+// preemptive condemnation, no probing, no release — quarantine is
+// permanent.
+package health
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fabric"
+)
+
+// State is one stage of the column health lifecycle.
+type State uint8
+
+const (
+	// Healthy columns carry designs and take new placements.
+	Healthy State = iota
+	// Suspect columns have an elevated error rate but are still in
+	// service; the state is advisory (events/reports), not masking.
+	Suspect
+	// Quarantined columns are masked out of placement and delivery.
+	Quarantined
+	// Probation columns passed their probes and are back in service,
+	// but one scrub repair sends them straight back to quarantine.
+	Probation
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Probation:
+		return "probation"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Policy holds the thresholds driving the lifecycle. The zero value
+// disables every automatic transition (legacy permanent quarantine).
+type Policy struct {
+	// Alpha is the EWMA smoothing factor for the per-column error rate:
+	// rate = Alpha*event + (1-Alpha)*rate. 0 disables rate tracking.
+	Alpha float64
+	// SuspectAbove marks a healthy column suspect when its error rate
+	// reaches this level. 0 disables suspect marking.
+	SuspectAbove float64
+	// CondemnRepairs preemptively condemns a column after this many
+	// scrub repairs of the same frame. 0 disables preemptive
+	// condemnation.
+	CondemnRepairs int
+	// ProbesToRelease moves a quarantined column to probation after
+	// this many consecutive clean probes. 0 disables probing/release.
+	ProbesToRelease int
+	// ProbationChecks returns a probation column to healthy after this
+	// many clean scrub checks with no repair. 0 keeps probation
+	// indefinite (still in service).
+	ProbationChecks int
+	// DegradedBelow is the healthy-capacity watermark for admission
+	// control: when healthy CLBs fall below DegradedBelow × total CLBs,
+	// Load/Plan fail fast with ErrDegraded. 0 disables the gate.
+	DegradedBelow float64
+}
+
+// DefaultPolicy returns thresholds tuned for the simulated transport:
+// responsive enough for tests, conservative enough that a single
+// transient never condemns a column.
+func DefaultPolicy() Policy {
+	return Policy{
+		Alpha:           0.5,
+		SuspectAbove:    0.25,
+		CondemnRepairs:  3,
+		ProbesToRelease: 2,
+		ProbationChecks: 8,
+		DegradedBelow:   0.5,
+	}
+}
+
+// Column is the exported health ledger entry for one configuration
+// column, keyed by its frame-address major.
+type Column struct {
+	Major       int
+	State       State
+	Rate        float64 // EWMA error rate
+	CleanProbes int     // consecutive clean probes while quarantined
+	CleanChecks int     // clean scrub checks while on probation
+	Probes      int     // lifetime probe count
+	ProbeFails  int     // lifetime failed probes
+	Repairs     int     // lifetime scrub repairs
+}
+
+// Change reports one state transition decided by the tracker.
+type Change struct {
+	Major int
+	From  State
+	To    State
+}
+
+// Tracker owns the health ledger. It is not safe for concurrent use; the
+// caller serializes access (the facade holds its own lock).
+type Tracker struct {
+	pol  Policy
+	cols map[int]*Column
+	// repairs counts scrub repairs per frame for preemptive
+	// condemnation. Transient: not journaled, so a crash resets the
+	// streak — conservative in the safe direction (a column needs fresh
+	// evidence after recovery).
+	repairs map[fabric.FrameAddr]int
+}
+
+// NewTracker builds a tracker with the given policy.
+func NewTracker(pol Policy) *Tracker {
+	return &Tracker{
+		pol:     pol,
+		cols:    make(map[int]*Column),
+		repairs: make(map[fabric.FrameAddr]int),
+	}
+}
+
+// Policy returns the tracker's policy.
+func (t *Tracker) Policy() Policy { return t.pol }
+
+func (t *Tracker) col(major int) *Column {
+	c := t.cols[major]
+	if c == nil {
+		c = &Column{Major: major}
+		t.cols[major] = c
+	}
+	return c
+}
+
+func change(c *Column, to State) *Change {
+	ch := &Change{Major: c.Major, From: c.State, To: to}
+	c.State = to
+	return ch
+}
+
+// NoteFault records a foreground delivery fault on the column and returns
+// a non-nil Change if the column transitions (healthy → suspect).
+func (t *Tracker) NoteFault(major int) *Change {
+	if t.pol.Alpha <= 0 {
+		return nil
+	}
+	c := t.col(major)
+	c.Rate = t.pol.Alpha + (1-t.pol.Alpha)*c.Rate
+	if c.State == Healthy && t.pol.SuspectAbove > 0 && c.Rate >= t.pol.SuspectAbove {
+		return change(c, Suspect)
+	}
+	return nil
+}
+
+// NoteClean records a clean scrub readback of one frame in the column.
+// On a probation column it counts toward the clean checks needed to
+// return to healthy (the returned Change is probation → healthy).
+func (t *Tracker) NoteClean(major int) *Change {
+	c := t.cols[major]
+	if c == nil {
+		return nil // never faulted: nothing to decay or advance
+	}
+	if t.pol.Alpha > 0 && c.Rate > 0 {
+		c.Rate = (1 - t.pol.Alpha) * c.Rate
+		if c.Rate < 1e-9 {
+			c.Rate = 0
+		}
+		if c.State == Suspect && t.pol.SuspectAbove > 0 && c.Rate < t.pol.SuspectAbove {
+			return change(c, Healthy)
+		}
+	}
+	if c.State == Probation && t.pol.ProbationChecks > 0 {
+		c.CleanChecks++
+		if c.CleanChecks >= t.pol.ProbationChecks {
+			c.CleanChecks = 0
+			return change(c, Healthy)
+		}
+	}
+	return nil
+}
+
+// NoteRepair records a scrub repair of one frame. Returns a non-nil
+// Change when the repair condemns the frame's column: either the
+// per-frame repair streak reached Policy.CondemnRepairs, or the column
+// was on probation (one strike and it is back in quarantine).
+func (t *Tracker) NoteRepair(addr fabric.FrameAddr) *Change {
+	c := t.col(addr.Major)
+	c.Repairs++
+	if c.State == Probation {
+		c.CleanChecks = 0
+		c.CleanProbes = 0
+		return change(c, Quarantined)
+	}
+	if c.State == Quarantined {
+		return nil
+	}
+	if t.pol.CondemnRepairs <= 0 {
+		return nil
+	}
+	t.repairs[addr]++
+	if t.repairs[addr] >= t.pol.CondemnRepairs {
+		t.forgetColumn(addr.Major)
+		c.CleanProbes = 0
+		return change(c, Quarantined)
+	}
+	return nil
+}
+
+// Condemn forces the column to quarantined regardless of policy (retry
+// exhaustion, recovery replay). Returns nil if already quarantined.
+func (t *Tracker) Condemn(major int) *Change {
+	c := t.col(major)
+	if c.State == Quarantined {
+		return nil
+	}
+	t.forgetColumn(major)
+	c.CleanProbes = 0
+	c.CleanChecks = 0
+	return change(c, Quarantined)
+}
+
+// forgetColumn drops the per-frame repair streaks of a column once it is
+// condemned (the evidence served its purpose).
+func (t *Tracker) forgetColumn(major int) {
+	for addr := range t.repairs {
+		if addr.Major == major {
+			delete(t.repairs, addr)
+		}
+	}
+}
+
+// NoteProbe records the outcome of a test-pattern probe of a quarantined
+// column. Policy.ProbesToRelease consecutive clean probes move it to
+// probation (the returned Change); a failed probe resets the streak.
+func (t *Tracker) NoteProbe(major int, clean bool) *Change {
+	c := t.col(major)
+	c.Probes++
+	if !clean {
+		c.ProbeFails++
+		c.CleanProbes = 0
+		return nil
+	}
+	if c.State != Quarantined || t.pol.ProbesToRelease <= 0 {
+		return nil
+	}
+	c.CleanProbes++
+	if c.CleanProbes >= t.pol.ProbesToRelease {
+		c.CleanProbes = 0
+		c.CleanChecks = 0
+		c.Rate = 0
+		return change(c, Probation)
+	}
+	return nil
+}
+
+// State returns the column's current state (Healthy if never seen).
+func (t *Tracker) State(major int) State {
+	if c := t.cols[major]; c != nil {
+		return c.State
+	}
+	return Healthy
+}
+
+// QuarantinedMajors returns the majors currently quarantined, sorted.
+func (t *Tracker) QuarantinedMajors() []int {
+	var out []int
+	for major, c := range t.cols {
+		if c.State == Quarantined {
+			out = append(out, major)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MajorsIn returns the majors currently in the given state, sorted.
+func (t *Tracker) MajorsIn(st State) []int {
+	var out []int
+	for major, c := range t.cols {
+		if c.State == st {
+			out = append(out, major)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Columns exports the ledger sorted by major (journal serialization,
+// reports). Entries are copies.
+func (t *Tracker) Columns() []Column {
+	out := make([]Column, 0, len(t.cols))
+	for _, c := range t.cols {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Major < out[j].Major })
+	return out
+}
+
+// Restore replaces the ledger with the given entries (journal recovery).
+// Per-frame repair streaks are transient and start empty.
+func (t *Tracker) Restore(cols []Column) {
+	t.cols = make(map[int]*Column, len(cols))
+	t.repairs = make(map[fabric.FrameAddr]int)
+	for _, c := range cols {
+		cc := c
+		t.cols[c.Major] = &cc
+	}
+}

@@ -100,6 +100,25 @@ type State struct {
 	// quarantine) before anything is delivered. Absent in pre-quarantine
 	// journals, which decode to an empty mask.
 	Quarantined []fabric.FrameAddr `json:"quarantined,omitempty"`
+	// Health is the per-column health ledger (states, error rates, probe
+	// history) of the self-healing layer; recovery restores it after
+	// re-applying the quarantine mask. Absent in older journals, which
+	// decode to a ledger derived from Quarantined alone.
+	Health []ColumnHealth `json:"health,omitempty"`
+}
+
+// ColumnHealth serialises one column of the health ledger. State matches
+// internal/health.State (0 healthy, 1 suspect, 2 quarantined, 3 probation);
+// plain ints keep the journal schema free of the health package.
+type ColumnHealth struct {
+	Major       int     `json:"major"`
+	State       uint8   `json:"state"`
+	Rate        float64 `json:"rate,omitempty"`
+	CleanProbes int     `json:"clean_probes,omitempty"`
+	CleanChecks int     `json:"clean_checks,omitempty"`
+	Probes      int     `json:"probes,omitempty"`
+	ProbeFails  int     `json:"probe_fails,omitempty"`
+	Repairs     int     `json:"repairs,omitempty"`
 }
 
 // TailOp is an operation whose records reach the end of the journal without

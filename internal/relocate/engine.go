@@ -90,6 +90,16 @@ type Stats struct {
 	ScrubRepairs      int
 	RetrySeconds      float64
 	ScrubSeconds      float64
+	// Health lifecycle counters (the facade's self-healing layer): columns
+	// marked suspect by the error-rate tracker, quarantine probes issued and
+	// failed, and columns released back into service. ProbeSeconds is the
+	// transport time spent probing, compensated out of the port's cycle
+	// counter like RetrySeconds/ScrubSeconds.
+	ColumnsSuspected    int
+	Probes              int
+	ProbeFailures       int
+	QuarantinesReleased int
+	ProbeSeconds        float64
 }
 
 // CellMove reports one completed cell relocation.

@@ -1,12 +1,19 @@
 package relocate
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
 )
+
+// ErrPortStalled is the typed cause surfaced when the stall watchdog fires:
+// the configuration port failed to harvest an in-flight stream within
+// StallTimeout. It feeds the Retry delegate like any transport fault.
+var ErrPortStalled = errors.New("relocate: configuration port stalled")
 
 // FrameTool turns logical configuration edits (cell configs, PIP bits, pad
 // bits) into partial-bitstream frame writes delivered through a
@@ -79,6 +86,18 @@ type FrameTool struct {
 	// engine's disjointness fallback. The delegate must not call back into
 	// AwaitStream (it re-delivers through the port directly).
 	Retry func(cause error, addrs []fabric.FrameAddr) error
+	// StallTimeout, when positive, arms a watchdog on every harvest: if the
+	// port's AwaitStream has not returned within the deadline the harvest
+	// fails with ErrPortStalled (wrapped), which feeds the Retry delegate
+	// like any other transport fault. The abandoned await keeps draining in
+	// its goroutine; a later harvest (or HarvestPending) reaps it.
+	StallTimeout time.Duration
+	// awaitCh holds the result channel of an abandoned watchdog await: the
+	// goroutine blocked in the port's AwaitStream when a previous harvest
+	// timed out. The next harvest re-selects on it instead of spawning a
+	// second awaiter (the port serializes awaits on one condition variable,
+	// but two awaiters would race to consume the sticky error).
+	awaitCh chan error
 	// unharvested accumulates the distinct frames of every burst enqueued
 	// since the last clean AwaitStream — the conservative re-delivery
 	// superset: the drain counts failed bursts completed, so a sticky
@@ -261,15 +280,23 @@ func (ft *FrameTool) SyncDeclared(cells []fabric.CellRef, nodes []fabric.NodeID,
 	return nil
 }
 
-// QuarantineFrame permanently excludes a frame from port delivery. The
-// caller (the facade's fault-tolerance layer) has established that writes to
-// the frame fail persistently and has masked the corresponding logic out of
-// the area manager; from here on the tool treats the frame as dead memory.
+// QuarantineFrame excludes a frame from port delivery. The caller (the
+// facade's fault-tolerance layer) has established that writes to the frame
+// fail persistently and has masked the corresponding logic out of the area
+// manager; the tool treats the frame as dead memory until an explicit
+// UnquarantineFrame (the facade's probe/release cycle) revives it.
 func (ft *FrameTool) QuarantineFrame(addr fabric.FrameAddr) {
 	if ft.quarantined == nil {
 		ft.quarantined = make(map[fabric.FrameAddr]bool)
 	}
 	ft.quarantined[addr] = true
+}
+
+// UnquarantineFrame returns a frame to port delivery after its column
+// passed the facade's probe/release cycle. The caller has re-verified the
+// configuration memory and restored the area manager's mask.
+func (ft *FrameTool) UnquarantineFrame(addr fabric.FrameAddr) {
+	delete(ft.quarantined, addr)
 }
 
 // FrameQuarantined reports whether a frame is excluded from port delivery.
@@ -550,7 +577,7 @@ func (ft *FrameTool) AwaitStream() error {
 	if ft.async == nil {
 		return nil
 	}
-	err := ft.async.AwaitStream()
+	err := ft.harvest()
 	ft.streamBursts = nil
 	ft.burstsDone = ft.async.CompletedBursts()
 	if len(ft.streamingSet) > 0 {
@@ -566,6 +593,68 @@ func (ft *FrameTool) AwaitStream() error {
 		}
 	}
 	return err
+}
+
+// harvest performs the blocking port await, under the stall watchdog when
+// StallTimeout is set. On timeout it returns ErrPortStalled (wrapped) and
+// leaves the await goroutine parked on awaitCh; the next harvest reaps it.
+// A reaped result can be stale — the abandoned awaiter may have returned
+// nil for an earlier drain while bursts enqueued since are still in flight
+// — so a nil result is only accepted when the queue is actually empty.
+func (ft *FrameTool) harvest() error {
+	if ft.StallTimeout <= 0 && ft.awaitCh == nil {
+		return ft.async.AwaitStream()
+	}
+	var timeout <-chan time.Time
+	if ft.StallTimeout > 0 {
+		timer := time.NewTimer(ft.StallTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		if ft.awaitCh == nil {
+			ch := make(chan error, 1)
+			async := ft.async
+			go func() { ch <- async.AwaitStream() }()
+			ft.awaitCh = ch
+		}
+		select {
+		case err := <-ft.awaitCh:
+			ft.awaitCh = nil
+			if err == nil && ft.async.StreamInFlight() {
+				// Stale result from an abandoned await that completed
+				// before the current bursts were enqueued; await again.
+				continue
+			}
+			return err
+		case <-timeout:
+			return fmt.Errorf("%w (no harvest within %v)", ErrPortStalled, ft.StallTimeout)
+		}
+	}
+}
+
+// HarvestPending reaps an abandoned watchdog await and drains any remaining
+// in-flight stream, without the watchdog and without the Retry delegate —
+// the shutdown path: Close must not leave the awaiter goroutine blocked on
+// the port, and a fault surfacing here has no operation left to answer to.
+func (ft *FrameTool) HarvestPending() {
+	if ft.async == nil {
+		return
+	}
+	if ft.awaitCh != nil {
+		<-ft.awaitCh
+		ft.awaitCh = nil
+	}
+	_ = ft.async.AwaitStream()
+	ft.streamBursts = nil
+	ft.burstsDone = ft.async.CompletedBursts()
+	if len(ft.streamingSet) > 0 {
+		clear(ft.streamingSet)
+	}
+	ft.unharvested = nil
+	if len(ft.unharvestedSet) > 0 {
+		clear(ft.unharvestedSet)
+	}
 }
 
 // StreamInFlight reports whether a background stream is still shifting out.

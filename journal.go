@@ -321,5 +321,17 @@ func (s *System) journalStateLocked() journal.State {
 		}
 		return a.Minor < b.Minor
 	})
+	for _, c := range s.health.Columns() {
+		st.Health = append(st.Health, journal.ColumnHealth{
+			Major:       c.Major,
+			State:       uint8(c.State),
+			Rate:        c.Rate,
+			CleanProbes: c.CleanProbes,
+			CleanChecks: c.CleanChecks,
+			Probes:      c.Probes,
+			ProbeFails:  c.ProbeFails,
+			Repairs:     c.Repairs,
+		})
+	}
 	return st
 }

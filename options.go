@@ -34,6 +34,8 @@ type config struct {
 	scrubEvery   time.Duration
 	scrubBatch   int
 	journalRot   int64
+	health       *HealthPolicy
+	stallTimeout time.Duration
 }
 
 // Option configures a System at construction time.
@@ -132,6 +134,29 @@ func WithRetryPolicy(p RetryPolicy) Option {
 // batchFrames bounds the frames checked per pass (0 = a default of 32).
 func WithScrubber(interval time.Duration, batchFrames int) Option {
 	return func(c *config) { c.scrubEvery, c.scrubBatch = interval, batchFrames }
+}
+
+// WithHealthPolicy arms the per-column health lifecycle (healthy → suspect
+// → quarantined → probation → healthy): foreground faults drive an EWMA
+// error rate that marks columns suspect, repeated scrub repairs of one
+// frame condemn its column preemptively, the scrubber probes quarantined
+// columns with test patterns and releases those that pass back into the
+// logic space, and Load/Plan fail fast with ErrDegraded once healthy
+// capacity falls below the policy's watermark. Without this option (or
+// with the zero policy) behaviour is the legacy one: quarantine is
+// permanent and admission is never gated. Like WithRetryPolicy the policy
+// is not journaled — pass it again when recovering with rlm.Recover.
+func WithHealthPolicy(p HealthPolicy) Option {
+	return func(c *config) { c.health = &p }
+}
+
+// WithStallTimeout arms the stall watchdog: a harvest of the background
+// configuration stream that does not complete within d fails with a typed
+// ErrPortStalled instead of hanging the facade, feeding the retry ladder
+// (when armed) like any transport fault. 0 (the default) disables the
+// watchdog. Not journaled — pass it again when recovering.
+func WithStallTimeout(d time.Duration) Option {
+	return func(c *config) { c.stallTimeout = d }
 }
 
 // WithJournalRotation enables automatic journal compaction: after a commit

@@ -216,6 +216,11 @@ func (s *System) validatePlanLocked(ops []planOp) error {
 			if _, dup := shapes[op.name]; dup {
 				return invalid(i, op, ErrDuplicateDesign)
 			}
+			// Degraded-mode admission: a plan that adds load is refused
+			// outright while healthy capacity is below the watermark.
+			if err := s.admitLocked(); err != nil {
+				return invalid(i, op, err)
+			}
 			region := op.region
 			if region.Area() == 0 {
 				proto, err := place.AutoRegion(s.dev, op.nl, 0, 0, 0.4)

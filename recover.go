@@ -6,6 +6,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/health"
 	"repro/internal/journal"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -303,6 +304,26 @@ func (s *System) installState(st *journal.State) error {
 	// journaled Stats already count the quarantine (record off).
 	if len(st.Quarantined) > 0 {
 		s.quarantineFramesLocked(st.Quarantined, false)
+	}
+	// Restore the health ledger on top of the mask: quarantineFramesLocked
+	// already condemned the masked columns in the tracker (a backward-compat
+	// default for journals without a ledger); a journaled ledger overrides it
+	// with the exact states, rates and probe streaks.
+	if len(st.Health) > 0 {
+		cols := make([]health.Column, 0, len(st.Health))
+		for _, h := range st.Health {
+			cols = append(cols, health.Column{
+				Major:       h.Major,
+				State:       health.State(h.State),
+				Rate:        h.Rate,
+				CleanProbes: h.CleanProbes,
+				CleanChecks: h.CleanChecks,
+				Probes:      h.Probes,
+				ProbeFails:  h.ProbeFails,
+				Repairs:     h.Repairs,
+			})
+		}
+		s.health.Restore(cols)
 	}
 	// Capture the reconciled device into the tool's shadow (the paper's
 	// complete configuration copy) and rebuild routing occupancy from it.

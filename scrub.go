@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/health"
 )
 
 // This file is the configuration-memory scrubber: a maintenance pass that
@@ -54,6 +55,7 @@ func (s *System) scrubLocked(maxFrames int) (*ScrubReport, error) {
 	if maxFrames <= 0 || maxFrames > len(addrs) {
 		maxFrames = len(addrs)
 	}
+	var changes []*health.Change
 	err := s.compensatePort(&s.engine.Stats.ScrubSeconds, func() error {
 		for i := 0; i < maxFrames; i++ {
 			addr := addrs[s.scrubCursor%len(addrs)]
@@ -72,6 +74,7 @@ func (s *System) scrubLocked(maxFrames int) (*ScrubReport, error) {
 			rep.FramesChecked++
 			s.engine.Stats.ScrubChecked++
 			if frameWordsEqual(got, want) {
+				changes = append(changes, s.health.NoteClean(addr.Major))
 				continue
 			}
 			if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: want}}); err != nil {
@@ -80,10 +83,101 @@ func (s *System) scrubLocked(maxFrames int) (*ScrubReport, error) {
 			rep.Repairs = append(rep.Repairs, addr)
 			s.engine.Stats.ScrubRepairs++
 			s.publish(Event{Kind: ScrubRepair, Frame: addr})
+			changes = append(changes, s.health.NoteRepair(addr))
 		}
 		return nil
 	})
-	return rep, err
+	// Apply tracker decisions outside the compensate window: a preemptive
+	// condemnation evacuates residents, and that traffic is a real foreground
+	// relocation, not scrub overhead.
+	s.applyHealthChangesLocked(changes, true)
+	if err != nil {
+		return rep, err
+	}
+	s.probeQuarantinedLocked()
+	return rep, nil
+}
+
+// probeQuarantinedLocked is the release half of the health lifecycle: each
+// quarantined column is exercised with a test pattern (write the bit-inverse
+// of the golden content, read it back, restore golden, read that back), one
+// probe per column per scrub pass. A column that accumulates the policy's
+// streak of clean probes is released into probation. Probe traffic is
+// compensated out of the port accounting as Stats.ProbeSeconds; probes only
+// touch quarantined frames, which carry no live design.
+func (s *System) probeQuarantinedLocked() {
+	if s.health.Policy().ProbesToRelease <= 0 {
+		return
+	}
+	majors := s.health.QuarantinedMajors()
+	if len(majors) == 0 {
+		return
+	}
+	var changes []*health.Change
+	for _, major := range majors {
+		col, ok := s.dev.ColumnByMajor(major)
+		if !ok {
+			continue
+		}
+		clean := true
+		_ = s.compensatePort(&s.engine.Stats.ProbeSeconds, func() error {
+			for minor := 0; minor < col.Frames; minor++ {
+				fa := fabric.FrameAddr{Major: major, Minor: minor}
+				golden, ok := s.engine.Tool.Shadow().Frame(fa)
+				if !ok {
+					continue
+				}
+				if !s.probeFrameLocked(fa, golden) {
+					clean = false
+					s.engine.Stats.ProbeFailures++
+					s.publish(Event{Kind: ProbeFailed, Frame: fa})
+					return nil // one bad frame fails the whole column probe
+				}
+			}
+			return nil
+		})
+		s.engine.Stats.Probes++
+		changes = append(changes, s.health.NoteProbe(major, clean))
+	}
+	// Probe writes bumped the device generation behind the frame tool's back
+	// (they bypass staging on purpose: quarantined frames are masked out of
+	// delivery). Reconcile before anything journals or checkpoints, so the
+	// shadow's view and any crash-consistency mirror re-confirm the golden
+	// content the probes restored.
+	_ = s.engine.Tool.Sync()
+	s.applyHealthChangesLocked(changes, true)
+}
+
+// probeFrameLocked runs the pattern test on one frame and reports whether it
+// passed. The device model itself always accepts direct writes, so on any
+// failure after the pattern write the golden content is restored through the
+// device (bypassing the faulty transport) — the probe must never leave its
+// test pattern behind where a later Sync would absorb it.
+func (s *System) probeFrameLocked(fa fabric.FrameAddr, golden []uint32) bool {
+	pattern := make([]uint32, len(golden))
+	for i, w := range golden {
+		pattern[i] = ^w
+	}
+	restore := func() { _ = s.dev.WriteFrame(fa.Major, fa.Minor, golden) }
+	// A failed write delivers nothing: the device still holds golden.
+	if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: fa, Data: pattern}}); err != nil {
+		return false
+	}
+	got, err := s.port.ReadFrame(fa)
+	if err != nil || !frameWordsEqual(got, pattern) {
+		restore()
+		return false
+	}
+	if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: fa, Data: golden}}); err != nil {
+		restore()
+		return false
+	}
+	got, err = s.port.ReadFrame(fa)
+	if err != nil || !frameWordsEqual(got, golden) {
+		// The restore write itself succeeded; only the readback lies.
+		return false
+	}
+	return true
 }
 
 // scrubAddrsLocked returns the device's full frame address space in address
@@ -142,16 +236,21 @@ func (s *System) startScrubber(interval time.Duration, batch int) {
 	}()
 }
 
-// Close stops the background scrubber (if one was started) and waits for it
-// to exit. Safe to call on a system built without WithScrubber, and safe to
-// call more than once. It does not close the journal — the journal's file
-// lifetime follows the process, as before.
+// Close stops the background scrubber (if one was started), waits for it to
+// exit, and drains the in-flight background configuration stream — including
+// any awaiter goroutine a stall watchdog abandoned — so no goroutine the
+// system spawned outlives it. Safe to call on a system built without
+// WithScrubber, and safe to call more than once. It does not close the
+// journal — the journal's file lifetime follows the process, as before.
 func (s *System) Close() error {
 	s.closeOnce.Do(func() {
 		if s.scrubStop != nil {
 			close(s.scrubStop)
 			<-s.scrubDone
 		}
+		s.mu.Lock()
+		s.engine.Tool.HarvestPending()
+		s.mu.Unlock()
 	})
 	return nil
 }

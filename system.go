@@ -29,6 +29,7 @@ import (
 	"repro/internal/area"
 	"repro/internal/bitstream"
 	"repro/internal/fabric"
+	"repro/internal/health"
 	"repro/internal/journal"
 	"repro/internal/jtag"
 	"repro/internal/netlist"
@@ -74,9 +75,14 @@ type System struct {
 	// fault.go): harvest faults re-deliver from the shadow instead of
 	// immediately rolling the operation back.
 	retry *RetryPolicy
+	// health is the per-column health lifecycle tracker (see health.go).
+	// Always non-nil; the zero policy keeps every automatic transition off,
+	// reproducing the legacy permanent-quarantine behaviour.
+	health *health.Tracker
 	// quarantined is the set of configuration frames condemned after
-	// persistent write failures — permanently masked out of port delivery
-	// and (for CLB columns) out of the area manager's logic space.
+	// persistent write failures — masked out of port delivery and (for CLB
+	// columns) out of the area manager's logic space until the health
+	// lifecycle's probe/release cycle (if armed) revives the column.
 	quarantined map[fabric.FrameAddr]bool
 	// pendingBad holds frames the retry ladder's final verify condemned,
 	// consumed by quarantineSweepLocked after the failed op rolls back.
@@ -164,6 +170,7 @@ func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 		eng.AppClockHz = cfg.appClockHz
 	}
 	eng.Tool.Serial = cfg.serialCommit
+	eng.Tool.StallTimeout = cfg.stallTimeout
 	var tmpl *template.Store
 	if cfg.tmplPolicy != nil {
 		tmpl = template.NewStore(*cfg.tmplPolicy)
@@ -182,6 +189,11 @@ func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 		retry:   cfg.retry,
 		subs:    map[int]chan Event{},
 	}
+	hpol := health.Policy{}
+	if cfg.health != nil {
+		hpol = *cfg.health
+	}
+	sys.health = health.NewTracker(hpol)
 	sys.armRetryLadder()
 	return sys, nil
 }
@@ -342,6 +354,9 @@ func (s *System) loadLocked(nl *netlist.Netlist, region fabric.Rect) (*place.Des
 func (s *System) checkLoadLocked(nl *netlist.Netlist, region fabric.Rect) (fabric.Rect, error) {
 	if _, dup := s.designs[nl.Name]; dup {
 		return region, fmt.Errorf("%w: %q", ErrDuplicateDesign, nl.Name)
+	}
+	if err := s.admitLocked(); err != nil {
+		return region, err
 	}
 	if region.Area() == 0 {
 		var ok bool
