@@ -10,7 +10,7 @@ race:
 # sync with .github/workflows/ci.yml): journaled crash/recovery at every
 # boundary, then the transport fault-tolerance properties under race.
 torture:
-	go test -race -run 'TestCrashConsistency|TestRecover' repro
+	go test -race -run 'TestCrashConsistency|TestRecover|TestCompressedDelivery|TestCompressionFig7' repro
 	go test -race -run 'TestChaosRetry|TestPersistentFault|TestScrub|TestBackgroundScrubber|TestCrashDuringRetry' repro
 
 # The self-healing chaos soak at full length (CI runs the short-mode variant
@@ -18,7 +18,7 @@ torture:
 # defragmentation + mid-soak crash recovery, converging to a state
 # bit-identical to a fault-free twin, under race.
 soak:
-	go test -race -run 'TestChaosSoakSelfHealing|TestScrubPreemptiveQuarantine|TestStallWatchdog|TestDegradedAdmission|TestCloseUnderLoad' repro
+	go test -race -run 'TestChaosSoakSelfHealing|TestChaosSoakCompressed|TestScrubPreemptiveQuarantine|TestStallWatchdog|TestDegradedAdmission|TestCloseUnderLoad' repro
 
 # The exact command the CI bench lane runs (keep the two in sync: the
 # regression gate compares like against like).
@@ -39,9 +39,10 @@ bench-baseline:
 # tests, then a budgeted fuzz of the facade-op driver and the journal
 # scanner.
 fuzz:
-	go test -run 'Fuzz' repro repro/internal/journal
+	go test -run 'Fuzz' repro repro/internal/journal repro/internal/bitstream
 	go test -run '^$$' -fuzz 'FuzzFacadeOps' -fuzztime 60s -fuzzminimizetime 10s repro
 	go test -run '^$$' -fuzz 'FuzzJournalScan' -fuzztime 30s -fuzzminimizetime 10s repro/internal/journal
+	go test -run '^$$' -fuzz 'FuzzDeltaStream' -fuzztime 30s -fuzzminimizetime 10s repro/internal/bitstream
 
 # Mirrors the CI lint lane; falls back to go vet when staticcheck is not on
 # PATH (install: go install honnef.co/go/tools/cmd/staticcheck@2025.1.1).

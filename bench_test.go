@@ -113,6 +113,38 @@ func jtagBenchPort(dev *fabric.Device) bitstream.Port {
 	return jtag.NewPort(bitstream.NewController(dev), jtag.DefaultTCKHz)
 }
 
+// selectMapBenchPort builds a SelectMAP port at the given data-pin width
+// (8/16/32): the per-word clock cost is 32/width.
+func selectMapBenchPort(width int) func(*fabric.Device) bitstream.Port {
+	return func(dev *fabric.Device) bitstream.Port {
+		p := bitstream.NewParallelPort(bitstream.NewController(dev), 50e6)
+		p.WidthBits = width
+		return p
+	}
+}
+
+// compressBenchPort wraps a port constructor with delta/MFWR stream encoding
+// switched on.
+func compressBenchPort(mk func(*fabric.Device) bitstream.Port) func(*fabric.Device) bitstream.Port {
+	return func(dev *fabric.Device) bitstream.Port {
+		p := mk(dev)
+		p.(bitstream.CompressPort).SetCompress(true)
+		return p
+	}
+}
+
+// reportTraffic attaches the configuration-bandwidth columns every transport
+// lane reports: stream words actually shipped, the write-path compression
+// ratio, and port clocks per delivered frame. All three ride through
+// benchdiff as informational metrics.
+func reportTraffic(b *testing.B, tr bitstream.Traffic, cycles uint64) {
+	b.ReportMetric(float64(tr.WordsShifted), "words_shifted")
+	b.ReportMetric(tr.CompressionRatio(), "compression_ratio")
+	if tr.FramesDelivered > 0 {
+		b.ReportMetric(float64(cycles)/float64(tr.FramesDelivered), "tck_per_frame")
+	}
+}
+
 // --- E2 / Fig. 2: two-phase relocation of a free-running cell -------------
 
 func BenchmarkFig2TwoPhaseRelocation(b *testing.B) {
@@ -326,7 +358,9 @@ func BenchmarkFig7Defrag(b *testing.B) {
 	// them west/north through the configuration port. This is the path the
 	// checkpointing machinery sits on (every load and every slide brackets a
 	// configuration checkpoint), so allocations/op here track the rollback
-	// state the run-time manager keeps per pass.
+	// state the run-time manager keeps per pass. The lanes sweep transport
+	// (Boundary-Scan, wide SelectMAP) crossed with delta/MFWR compression;
+	// the bandwidth columns ride through benchdiff informationally.
 	nl1 := itc99.Generate(itc99.GenConfig{
 		Name: "gen1", Inputs: 3, Outputs: 2, FFs: 6, LUTs: 12,
 		Seed: 99, Style: itc99.FreeRunning,
@@ -335,26 +369,42 @@ func BenchmarkFig7Defrag(b *testing.B) {
 		Name: "gen2", Inputs: 3, Outputs: 2, FFs: 6, LUTs: 12,
 		Seed: 98, Style: itc99.FreeRunning,
 	})
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys, err := New(WithDevice(fabric.XCV50), WithPort(SelectMAP))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := sys.Load(nl1, fabric.Rect{Row: 2, Col: 6, H: 4, W: 4}); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := sys.Load(nl2, fabric.Rect{Row: 8, Col: 6, H: 4, W: 4}); err != nil {
-			b.Fatal(err)
-		}
-		rep, err := sys.Defragment(DefragPolicy{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(rep.Moves) == 0 || rep.CellsRelocated == 0 {
-			b.Fatalf("no physical compaction happened: %+v", rep)
-		}
+	for _, lane := range []struct {
+		name string
+		opts []Option
+	}{
+		{"BoundaryScan", []Option{WithPort(BoundaryScan)}},
+		{"BoundaryScan-compressed", []Option{WithPort(BoundaryScan), WithCompression()}},
+		{"SelectMAP8", []Option{WithPort(SelectMAP)}},
+		{"SelectMAP32-compressed", []Option{WithPort(SelectMAP), WithPortWidth(32), WithCompression()}},
+	} {
+		b.Run(lane.name, func(b *testing.B) {
+			var last *System
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, err := New(append([]Option{WithDevice(fabric.XCV50)}, lane.opts...)...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Load(nl1, fabric.Rect{Row: 2, Col: 6, H: 4, W: 4}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sys.Load(nl2, fabric.Rect{Row: 8, Col: 6, H: 4, W: 4}); err != nil {
+					b.Fatal(err)
+				}
+				rep, err := sys.Defragment(DefragPolicy{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Moves) == 0 || rep.CellsRelocated == 0 {
+					b.Fatalf("no physical compaction happened: %+v", rep)
+				}
+				last = sys
+			}
+			b.StopTimer()
+			reportTraffic(b, last.Traffic(), last.Port().(interface{ Cycles() uint64 }).Cycles())
+		})
 	}
 }
 
@@ -612,7 +662,7 @@ func BenchmarkTab226msRelocationTime(b *testing.B) {
 	// (fraction of relocations that started executing while the previous
 	// operation's bitstream was still shifting out) — the two numbers the
 	// commit pipeline moves: planning now happens inside the shift window.
-	measure := func(circuit string) (msPerCLB float64, clbs int, hostMsPerCLB, overlap float64) {
+	measure := func(circuit string, mkPort func(*fabric.Device) bitstream.Port) (msPerCLB float64, clbs int, hostMsPerCLB, overlap float64, cycles uint64, tr bitstream.Traffic) {
 		dev := fabric.NewDevice(fabric.XCV200)
 		nl, err := itc99.Get(circuit)
 		if err != nil {
@@ -626,7 +676,8 @@ func BenchmarkTab226msRelocationTime(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng, err := relocate.NewEngine(dev, jtagBenchPort(dev))
+		port := mkPort(dev)
+		eng, err := relocate.NewEngine(dev, port)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -666,25 +717,51 @@ func BenchmarkTab226msRelocationTime(b *testing.B) {
 		if st.CellsRelocated > 0 {
 			overlap = float64(st.OverlappedOps) / float64(st.CellsRelocated)
 		}
-		return totalSec * 1e3 / float64(clbs), clbs, hostMsPerCLB, overlap
+		if cp, ok := port.(interface{ Cycles() uint64 }); ok {
+			cycles = cp.Cycles()
+		}
+		if tp, ok := port.(bitstream.CompressPort); ok {
+			tr = tp.Traffic()
+		}
+		return totalSec * 1e3 / float64(clbs), clbs, hostMsPerCLB, overlap, cycles, tr
 	}
 	once("e8", func() {
 		fmt.Println("\nHeadline — mean CLB relocation time, gated-clock ITC'99 on XCV200, Boundary-Scan @ 20 MHz:")
 		fmt.Printf("%-8s %-10s %-12s %-14s %-10s (paper: 22.6 ms)\n", "circuit", "CLBs", "ms/CLB", "host-ms/CLB", "overlap")
 		for _, c := range []string{"b03", "b07", "b10"} {
-			ms, n, hostMs, ov := measure(c)
+			ms, n, hostMs, ov, _, _ := measure(c, jtagBenchPort)
 			fmt.Printf("%-8s %-10d %-12.1f %-14.2f %-10.2f\n", c, n, ms, hostMs, ov)
 		}
 	})
-	b.ResetTimer()
-	var hostMs, overlap float64
-	for i := 0; i < b.N; i++ {
-		ms, _, h, ov := measure("b03")
-		b.ReportMetric(ms, "ms/CLB")
-		hostMs, overlap = h, ov
+	// One lane per transport, crossed with compression: the paper's headline
+	// stays the Boundary-Scan lane's ms/CLB, the compressed lanes show what
+	// the bandwidth layer buys, the SelectMAP lanes what a wide parallel port
+	// buys on top. words_shifted/compression_ratio/tck_per_frame ride through
+	// benchdiff informationally.
+	for _, lane := range []struct {
+		name string
+		mk   func(*fabric.Device) bitstream.Port
+	}{
+		{"BoundaryScan", jtagBenchPort},
+		{"BoundaryScan-compressed", compressBenchPort(jtagBenchPort)},
+		{"SelectMAP8", directBenchPort},
+		{"SelectMAP32-compressed", compressBenchPort(selectMapBenchPort(32))},
+	} {
+		b.Run(lane.name, func(b *testing.B) {
+			var hostMs, overlap float64
+			var cycles uint64
+			var tr bitstream.Traffic
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ms, _, h, ov, cy, tf := measure("b03", lane.mk)
+				b.ReportMetric(ms, "ms/CLB")
+				hostMs, overlap, cycles, tr = h, ov, cy, tf
+			}
+			b.ReportMetric(hostMs, "ms_per_clb")
+			b.ReportMetric(overlap, "overlap_ratio")
+			reportTraffic(b, tr, cycles)
+		})
 	}
-	b.ReportMetric(hostMs, "ms_per_clb")
-	b.ReportMetric(overlap, "overlap_ratio")
 }
 
 // --- Ablation: configuration port comparison --------------------------------

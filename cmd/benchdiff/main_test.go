@@ -233,3 +233,52 @@ func TestRecoverMetricsRideThrough(t *testing.T) {
 		}
 	}
 }
+
+// TestBandwidthMetricsRideThrough pins the configuration-bandwidth bench
+// lane: the per-transport sub-benchmarks report words_shifted,
+// compression_ratio and tck_per_frame as custom units, and all three must
+// survive parse and render through compare as informational columns — a
+// compression-ratio collapse shows up in the PR table without gating the
+// run.
+func TestBandwidthMetricsRideThrough(t *testing.T) {
+	in := "pkg: repro\n" +
+		"BenchmarkFig7Defrag/BoundaryScan-8 5 143353881 ns/op 1.000 compression_ratio 978.2 tck_per_frame 56924 words_shifted\n" +
+		"BenchmarkFig7Defrag/BoundaryScan-compressed-8 5 143261360 ns/op 5.450 compression_ratio 180.3 tck_per_frame 10445 words_shifted\n"
+	doc, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := index(doc)
+	comp, ok := by["repro.BenchmarkFig7Defrag/BoundaryScan-compressed"]
+	if !ok {
+		t.Fatalf("compressed lane missing: %v", sortedKeys(by))
+	}
+	if comp.Metrics["compression_ratio"] != 5.45 || comp.Metrics["words_shifted"] != 10445 ||
+		comp.Metrics["tck_per_frame"] != 180.3 {
+		t.Fatalf("compressed-lane metrics mis-parsed: %v", comp.Metrics)
+	}
+	if plain := by["repro.BenchmarkFig7Defrag/BoundaryScan"]; plain.Metrics["compression_ratio"] != 1 {
+		t.Fatalf("plain-lane metrics mis-parsed: %v", plain.Metrics)
+	}
+	// The ratio collapses to 1 in a later run (the encoder regressed to
+	// full-frame shipping): the movement renders but must never gate.
+	cur := map[string]Benchmark{}
+	for k, b := range by {
+		c := b
+		if k == "repro.BenchmarkFig7Defrag/BoundaryScan-compressed" {
+			c.Metrics = map[string]float64{"compression_ratio": 1.0, "words_shifted": 56924, "tck_per_frame": 978.2}
+		}
+		cur[k] = c
+	}
+	var out strings.Builder
+	gating, info := compareDocs(by, cur, 0.20, 0.10, false, &out)
+	if len(gating) != 0 || len(info) != 0 {
+		t.Fatalf("bandwidth metric movement must not gate: gating %v, info %v", gating, info)
+	}
+	text := out.String()
+	for _, want := range []string{"words_shifted", "compression_ratio", "tck_per_frame", "informational"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //
 //	fratool -device XCV200 -design b03 -from R3C4 -to R10C12
 //	fratool -device XCV50  -design b01 -move-region 8,8
+//	fratool -device XCV50  -design b01 -move-region 8,8 -port selectmap -width 32 -compress
 //	fratool -list-benchmarks
 //
 // The trace subcommand batch-ingests recorded schedsim task traces
@@ -70,6 +71,9 @@ func main() {
 		planFile   = flag.String("plan", "", "placement-plan file: lines of 'RnCm -> RnCm' CLB moves")
 		maxStep    = flag.Int("max-step", 0, "stage long moves into hops of at most this many CLBs (0 = direct)")
 		tck        = flag.Float64("tck", jtag.DefaultTCKHz, "Boundary-Scan test clock frequency (Hz)")
+		portName   = flag.String("port", "boundary-scan", "configuration port: boundary-scan | selectmap")
+		portWidth  = flag.Int("width", 0, "SelectMAP data-port width in bits: 8, 16 or 32 (0 = 8; -port selectmap only)")
+		compress   = flag.Bool("compress", false, "ship delta/MFWR-compressed configuration streams")
 		verify     = flag.Bool("verify", true, "run the design in lock-step against its golden model during the relocation")
 		tmpl       = flag.Bool("tmpl", false, "enable the pre-routed template cache: -move-region relocates by address translation when possible (requires -verify=false; translation resets design state)")
 		list       = flag.Bool("list-benchmarks", false, "list available benchmark circuits")
@@ -98,7 +102,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fratool: -tmpl requires -verify=false (translation resets design state); template cache disabled")
 		*tmpl = false
 	}
-	opts := []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan), rlm.WithClock(*tck)}
+	portKind := rlm.BoundaryScan
+	switch *portName {
+	case "boundary-scan":
+	case "selectmap":
+		portKind = rlm.SelectMAP
+	default:
+		fail(fmt.Errorf("unknown port %q (want boundary-scan or selectmap)", *portName))
+	}
+	opts := []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(portKind), rlm.WithClock(*tck)}
+	if *portWidth > 0 {
+		opts = append(opts, rlm.WithPortWidth(*portWidth))
+	}
+	if *compress {
+		opts = append(opts, rlm.WithCompression())
+	}
 	if *tmpl {
 		opts = append(opts, rlm.WithTemplateCache(&template.Policy{}))
 	}
@@ -196,8 +214,8 @@ func main() {
 		} else {
 			fail(sys.Move(design.Name, to))
 		}
-		fmt.Printf("moved %s to %v: %d cells, %.2f ms of Boundary-Scan traffic\n",
-			design.Name, to, sys.Stats().CellsRelocated, (sys.Port().Elapsed()-before)*1e3)
+		fmt.Printf("moved %s to %v: %d cells, %.2f ms of %s traffic\n",
+			design.Name, to, sys.Stats().CellsRelocated, (sys.Port().Elapsed()-before)*1e3, sys.Port().Name())
 	default:
 		fmt.Println("nothing to do: pass -from/-to or -move-region")
 	}
@@ -213,6 +231,9 @@ func main() {
 	st := sys.Stats()
 	fmt.Printf("totals: cells=%d aux-circuits=%d frames=%d port-time=%.2f ms (%s)\n",
 		st.CellsRelocated, st.AuxCircuits, st.FramesWritten, st.PortSeconds*1e3, sys.Port().Name())
+	tr := sys.Traffic()
+	fmt.Printf("traffic: %d words shifted (%d uncompressed, %.2fx), %d frame deliveries\n",
+		tr.WordsShifted, tr.FullWords, tr.CompressionRatio(), tr.FramesDelivered)
 	if ts, ok := sys.TemplateStats(); ok {
 		fmt.Printf("templates: %d stored, %d translated moves, %d fallbacks\n",
 			ts.Stores, ts.Translations, ts.Fallbacks)

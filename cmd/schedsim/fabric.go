@@ -11,9 +11,16 @@ import (
 // profile-shaped design sized to its allocated region, every rearrangement
 // a physical relocation through the configuration port, with optional
 // lock-step verification of all resident designs. tmplCap > 0 enables the
-// pre-routed template cache with that capacity.
-func newFabricSpace(preset fabric.Preset, verify bool, tmplCap int) (*rlm.FabricSpace, error) {
+// pre-routed template cache with that capacity; width > 0 switches to a
+// wide SelectMAP port; compress ships delta/MFWR-encoded streams.
+func newFabricSpace(preset fabric.Preset, verify bool, tmplCap, width int, compress bool) (*rlm.FabricSpace, error) {
 	opts := []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(rlm.BoundaryScan)}
+	if width > 0 {
+		opts = []rlm.Option{rlm.WithDevice(preset), rlm.WithPort(rlm.SelectMAP), rlm.WithPortWidth(width)}
+	}
+	if compress {
+		opts = append(opts, rlm.WithCompression())
+	}
 	if tmplCap > 0 {
 		opts = append(opts, rlm.WithTemplateCache(&template.Policy{Capacity: tmplCap}))
 	}

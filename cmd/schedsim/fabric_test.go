@@ -14,7 +14,7 @@ import (
 // System: real designs loaded/unloaded/relocated, lock-step verified, and
 // the same Metrics schema as the book-keeping mode.
 func TestFabricSpaceWorkload(t *testing.T) {
-	space, err := newFabricSpace(fabric.XCV50, true, 0)
+	space, err := newFabricSpace(fabric.XCV50, true, 0, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestFabricSpaceWorkload(t *testing.T) {
 // cache enabled (verification off: translation resets design state) and
 // checks the cache actually serves warm loads.
 func TestFabricSpaceTemplateCache(t *testing.T) {
-	space, err := newFabricSpace(fabric.XCV50, false, 16)
+	space, err := newFabricSpace(fabric.XCV50, false, 16, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

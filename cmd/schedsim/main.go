@@ -54,6 +54,8 @@ func main() {
 		events     = flag.Bool("events", false, "print the system's event stream (-fabric)")
 		scenario   = flag.String("scenario", "", "run only the named scenario of the matrix (scenarios)")
 		tmpl       = flag.Int("tmpl", 0, "template cache capacity: warm loads + relocation-by-translation (0 = off; -fabric/scenarios)")
+		width      = flag.Int("width", 0, "use a wide SelectMAP port of this many data bits (8/16/32) instead of Boundary-Scan (0 = Boundary-Scan; -fabric/scenarios)")
+		compress   = flag.Bool("compress", false, "ship delta/MFWR-compressed configuration streams (-fabric/scenarios)")
 		pool       = flag.Int("pool", 0, "repeat-pool size: tasks draw shape+circuit from this many combos (0 = fresh draws)")
 		record     = flag.String("record", "", "save the task stream to this trace file (defrag/policies)")
 		replay     = flag.String("replay", "", "replay the task stream from this trace file instead of generating one (defrag/policies)")
@@ -81,7 +83,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
 			os.Exit(2)
 		}
-		scenarios(preset, *tasks, *seed, *load, *verify, *scenario, *tmpl)
+		scenarios(preset, *tasks, *seed, *load, *verify, *scenario, *tmpl, *width, *compress)
 	case "defrag":
 		if *tasks == 0 {
 			*tasks = 400
@@ -96,7 +98,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "schedsim: unknown device %q\n", *deviceName)
 				os.Exit(2)
 			}
-			defragFabric(preset, stream, *load, *verify, *events, *tmpl)
+			defragFabric(preset, stream, *load, *verify, *events, *tmpl, *width, *compress)
 		} else {
 			defrag(*rows, *cols, stream, *load)
 		}
@@ -203,14 +205,14 @@ func defrag(rows, cols int, stream []workload.Task, load float64) {
 
 // defragFabric runs the same schedule against a live System: real designs,
 // real relocations, same Metrics schema.
-func defragFabric(preset fabric.Preset, stream []workload.Task, load float64, verify, events bool, tmplCap int) {
+func defragFabric(preset fabric.Preset, stream []workload.Task, load float64, verify, events bool, tmplCap, width int, compress bool) {
 	fmt.Printf("Defragmentation study on live fabric — %s (%dx%d CLBs), %d tasks, load %.2f/s, verify=%v\n",
 		preset.Name, preset.Rows, preset.Cols, len(stream), load, verify)
 	printMetricsHeader()
 	for _, planner := range []rearrange.Planner{
 		rearrange.None{}, rearrange.LocalRepacking{},
 	} {
-		space, err := newFabricSpace(preset, verify, tmplCap)
+		space, err := newFabricSpace(preset, verify, tmplCap, width, compress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "schedsim:", err)
 			os.Exit(1)
@@ -238,6 +240,7 @@ func defragFabric(preset fabric.Preset, stream []workload.Task, load float64, ve
 		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic, %d designs resident at end\n",
 			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
 			space.System().Port().Name(), len(space.System().Designs()))
+		printTraffic(space.System())
 		printTemplateStats(space.System())
 		if events {
 			cancel()
@@ -249,7 +252,7 @@ func defragFabric(preset fabric.Preset, stream []workload.Task, load float64, ve
 // scenarios runs the named scenario matrix: each scenario's profiled task
 // stream is executed on a live fabric and on the pure book-keeping model,
 // and the divergence between the two runs is reported per scenario.
-func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verify bool, only string, tmplCap int) {
+func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verify bool, only string, tmplCap, width int, compress bool) {
 	matrix := sched.ScenarioMatrix(seed, tasks, load)
 	if only != "" {
 		sc, ok := sched.ScenarioByName(matrix, only)
@@ -264,7 +267,7 @@ func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verif
 	fmt.Printf("%-16s %-11s %-11s %-9s %-9s %-10s %-10s %-10s\n",
 		"scenario", "alloc-book", "alloc-fab", "rej-gap", "frag-gap", "phys-fail", "clb-gap", "reloc-s")
 	for _, sc := range matrix {
-		space, err := newFabricSpace(preset, verify, tmplCap)
+		space, err := newFabricSpace(preset, verify, tmplCap, width, compress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "schedsim:", err)
 			os.Exit(1)
@@ -278,8 +281,18 @@ func scenarios(preset fabric.Preset, tasks int, seed uint64, load float64, verif
 		fmt.Printf("  fabric: %d cells relocated, %d frames, %.1f ms of %s traffic — %s\n",
 			st.CellsRelocated, st.FramesWritten, st.PortSeconds*1e3,
 			space.System().Port().Name(), sc.Desc)
+		printTraffic(space.System())
 		printTemplateStats(space.System())
 	}
+}
+
+// printTraffic reports the configuration-bandwidth counters: stream words
+// actually shipped against their uncompressed equivalent (the two are equal
+// when compression is off).
+func printTraffic(sys *rlm.System) {
+	tr := sys.Traffic()
+	fmt.Printf("  traffic: %d words shifted (%d uncompressed, %.2fx), %d frame deliveries\n",
+		tr.WordsShifted, tr.FullWords, tr.CompressionRatio(), tr.FramesDelivered)
 }
 
 // printTemplateStats reports template-cache outcomes when the cache is on.

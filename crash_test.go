@@ -25,6 +25,7 @@ type hostState struct {
 	allocs   string
 	stats    relocate.Stats
 	cycles   uint64
+	traffic  bitstream.Traffic
 	lastTick float64
 }
 
@@ -73,6 +74,9 @@ func captureState(s *System) hostState {
 	if cp, ok := s.port.(cyclePort); ok {
 		st.cycles = cp.Cycles()
 	}
+	if tp, ok := s.port.(bitstream.CompressPort); ok {
+		st.traffic = tp.Traffic()
+	}
 	return st
 }
 
@@ -114,6 +118,9 @@ func diffStates(got, want hostState) []string {
 	}
 	if got.cycles != want.cycles {
 		diffs = append(diffs, fmt.Sprintf("port cycles: got %d, want %d", got.cycles, want.cycles))
+	}
+	if got.traffic != want.traffic {
+		diffs = append(diffs, fmt.Sprintf("port traffic: got %+v, want %+v", got.traffic, want.traffic))
 	}
 	if got.lastTick != want.lastTick {
 		diffs = append(diffs, fmt.Sprintf("last tick: got %v, want %v", got.lastTick, want.lastTick))
@@ -198,11 +205,21 @@ func crashScript(t *testing.T, s *System) {
 // book-keeping, TCK accounting — to a never-crashed twin at the operation
 // boundary the decision table selects. Run with -race.
 func TestCrashConsistency(t *testing.T) {
+	runCrashConsistency(t)
+}
+
+// runCrashConsistency is the crash-torture body, parameterised so variants
+// (e.g. compressed delivery) can run the identical property with extra
+// options on both twins. Recover reads no options: everything it needs to
+// rebuild — including the extra options' effects — must come from the
+// journal's init record.
+func runCrashConsistency(t *testing.T, extra ...Option) {
 	dir := t.TempDir()
 
 	// The never-crashed twin: journaled too (identical code path), its state
 	// captured at every commit seal, keyed by operation sequence number.
-	twin, err := New(WithDevice(fabric.TestDevice), WithJournal(filepath.Join(dir, "twin.journal")))
+	twin, err := New(append([]Option{WithDevice(fabric.TestDevice),
+		WithJournal(filepath.Join(dir, "twin.journal"))}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +236,7 @@ func TestCrashConsistency(t *testing.T) {
 	// what the real fabric holds) and capture journal prefix + mirror at
 	// every boundary.
 	jpath := filepath.Join(dir, "op.journal")
-	sys, err := New(WithDevice(fabric.TestDevice), WithJournal(jpath))
+	sys, err := New(append([]Option{WithDevice(fabric.TestDevice), WithJournal(jpath)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

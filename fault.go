@@ -157,7 +157,9 @@ func (s *System) noteFaultEvidenceLocked(addrs []fabric.FrameAddr) {
 
 // redeliverySetLocked builds the sorted re-delivery set from the unharvested
 // frames, minus quarantined memory, each with its current (golden) shadow
-// content.
+// content. Each update carries the tool's confirmed baseline as its delta
+// Prev, so a compressed port re-ships exactly the runs the failed burst was
+// carrying instead of whole frames.
 func (s *System) redeliverySetLocked(unharvested []fabric.FrameAddr) []bitstream.FrameUpdate {
 	addrs := append([]fabric.FrameAddr(nil), unharvested...)
 	sort.Slice(addrs, func(i, j int) bool {
@@ -172,7 +174,11 @@ func (s *System) redeliverySetLocked(unharvested []fabric.FrameAddr) []bitstream
 			continue
 		}
 		if data, ok := s.engine.Tool.Shadow().Frame(a); ok {
-			updates = append(updates, bitstream.FrameUpdate{Addr: a, Data: data})
+			u := bitstream.FrameUpdate{Addr: a, Data: data}
+			if prev, ok := s.engine.Tool.ConfirmedBaseline(a); ok {
+				u.Prev = prev
+			}
+			updates = append(updates, u)
 		}
 	}
 	return updates
@@ -225,10 +231,21 @@ func (s *System) compensatePort(acc *float64, fn func() error) error {
 	if hasCycles {
 		c0 = cp.Cycles()
 	}
+	tp, hasTraffic := s.port.(bitstream.CompressPort)
+	var t0 bitstream.Traffic
+	if hasTraffic {
+		t0 = tp.Traffic()
+	}
 	err := fn()
 	*acc += s.port.Elapsed() - e0
 	if hasCycles {
 		cp.RestoreCycles(c0)
+	}
+	if hasTraffic {
+		// Maintenance re-deliveries and repairs are compensated out of the
+		// write-traffic counters too, keeping Traffic bit-identical to a
+		// fault-free twin's.
+		tp.RestoreTraffic(t0)
 	}
 	return err
 }

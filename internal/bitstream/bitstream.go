@@ -16,6 +16,11 @@ import (
 // SyncWord marks the start of a configuration packet stream.
 const SyncWord uint32 = 0xAA995566
 
+// maxFLR bounds the frame length register (a real part's frame is a few
+// hundred words at most; the bound keeps a corrupted FLR write from driving
+// the frame buffer allocation).
+const maxFLR = 1 << 12
+
 // Packet types.
 const (
 	TypeNone  = 0
@@ -133,6 +138,16 @@ type Controller struct {
 	frame   []uint32
 	inFrame int
 	wcfg    bool
+	// lastFrame holds a copy of the most recent frame committed through
+	// FDRI; a multi-frame-write packet (RegMFWR under CmdMFW) re-commits it
+	// at the current FAR without re-shipping the payload.
+	lastFrame []uint32
+	// Delta packet (RegDELTA) decode state: the frame at FAR is loaded as
+	// the read-modify-write base when the packet's first run header arrives,
+	// patched run by run, and committed when the packet ends.
+	deltaNeed int  // data words remaining in the current run
+	deltaOff  int  // next frame word the current run patches
+	deltaOpen bool // RMW base loaded for the packet in progress
 	// redelivery marks the stream being fed as a re-delivery of frames
 	// already staged write-through on the device: the full protocol (sync,
 	// CRC, FAR sequencing) is enforced and traffic counted, but frame data
@@ -263,7 +278,21 @@ func (c *Controller) dataWord(w uint32) error {
 	case RegFDRI:
 		c.crc = crcUpdate(c.crc, RegFDRI, w)
 		return c.fdriWord(w)
+	case RegDELTA:
+		if err := c.deltaWord(w); err != nil {
+			return err
+		}
+	case RegMFWR:
+		if err := c.mfwrWord(); err != nil {
+			return err
+		}
 	case RegFLR:
+		// Bound the frame length register: the frame buffer is allocated from
+		// it, so a corrupted write must not turn into a zero-length frame
+		// (index panic) or a multi-gigabyte allocation.
+		if w == 0 || w > maxFLR {
+			return fmt.Errorf("%w: frame length %d out of range", ErrProtocol, w)
+		}
 		c.flr = w
 	case RegCTL, RegMASK, RegCOR, RegLOUT, RegID:
 		// Accepted, no behavioural effect in the model.
@@ -296,13 +325,99 @@ func (c *Controller) fdriWord(w uint32) error {
 		// redelivery field).
 		if !c.redelivery {
 			if _, err := c.dev.WriteFrameIfChanged(c.far.Major, c.far.Minor, c.frame); err != nil {
-				return err
+				return fmt.Errorf("%w: %v", ErrProtocol, err)
+			}
+		}
+		// Keep the committed payload for multi-frame writes (also in
+		// re-delivery: the MFWR packets of the same stream must see the same
+		// buffer the original delivery loaded).
+		if cap(c.lastFrame) < len(c.frame) {
+			c.lastFrame = make([]uint32, len(c.frame))
+		}
+		c.lastFrame = c.lastFrame[:len(c.frame)]
+		copy(c.lastFrame, c.frame)
+		c.stats.FramesWritten++
+		c.advanceFAR()
+	}
+	// Anything shorter than a frame remaining is the pad: absorbed.
+	return nil
+}
+
+// deltaWord consumes one word of a partial-frame delta packet: alternating
+// run headers (offset<<16 | count) and run payload words, patched into the
+// FAR'd frame read-modify-write. Runs are validated against the frame length
+// and the packet's remaining word count, so a truncated or out-of-range run
+// fails immediately with ErrDelta. The patched frame commits when the packet
+// ends; a re-delivery stream parses and validates but applies nothing.
+func (c *Controller) deltaWord(w uint32) error {
+	if c.cmd != CmdWCFG {
+		return fmt.Errorf("%w: delta data without WCFG command", ErrDelta)
+	}
+	if c.deltaNeed == 0 {
+		off := int(w >> 16)
+		n := int(w & 0xFFFF)
+		if n < 1 || off+n > int(c.flr) {
+			return fmt.Errorf("%w: run offset %d count %d outside frame length %d", ErrDelta, off, n, c.flr)
+		}
+		if n > c.pending {
+			return fmt.Errorf("%w: run of %d words truncated (%d words left in packet)", ErrDelta, n, c.pending)
+		}
+		if !c.deltaOpen {
+			if !c.redelivery {
+				base, err := c.dev.ReadFrame(c.far.Major, c.far.Minor)
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrDelta, err)
+				}
+				if len(c.frame) != int(c.flr) {
+					c.frame = make([]uint32, c.flr)
+				}
+				copy(c.frame, base)
+			}
+			c.deltaOpen = true
+		}
+		c.deltaOff = off
+		c.deltaNeed = n
+		return nil
+	}
+	if !c.redelivery {
+		c.frame[c.deltaOff] = w
+	}
+	c.deltaOff++
+	c.deltaNeed--
+	if c.pending == 0 && c.deltaNeed == 0 {
+		c.deltaOpen = false
+		if !c.redelivery {
+			if _, err := c.dev.WriteFrameIfChanged(c.far.Major, c.far.Minor, c.frame); err != nil {
+				return fmt.Errorf("%w: %v", ErrDelta, err)
 			}
 		}
 		c.stats.FramesWritten++
 		c.advanceFAR()
 	}
-	// Anything shorter than a frame remaining is the pad: absorbed.
+	return nil
+}
+
+// mfwrWord consumes one dummy word of a multi-frame-write packet; the last
+// one re-commits the frame most recently loaded through FDRI at the current
+// FAR (the Virtex-II MFWR semantics: ship a repeated payload once, then
+// re-target it by address).
+func (c *Controller) mfwrWord() error {
+	if c.cmd != CmdMFW {
+		return fmt.Errorf("%w: MFWR data without MFW command", ErrDelta)
+	}
+	if c.pending > 0 {
+		return nil
+	}
+	if len(c.lastFrame) != int(c.flr) {
+		return fmt.Errorf("%w: MFWR with no loaded frame", ErrDelta)
+	}
+	if !c.redelivery {
+		if _, err := c.dev.WriteFrameIfChanged(c.far.Major, c.far.Minor, c.lastFrame); err != nil {
+			return fmt.Errorf("%w: %v", ErrDelta, err)
+		}
+	}
+	c.stats.FramesWritten++
+	c.advanceFAR()
 	return nil
 }
 

@@ -138,10 +138,16 @@ func ReadFramesRequest(frameWords int, far FAR, n int) []uint32 {
 	return words
 }
 
-// FrameUpdate is one frame's new content for partial reconfiguration.
+// FrameUpdate is one frame's new content for partial reconfiguration. Prev,
+// when set, is the content the fabric held before this update (the delta
+// baseline): the compressed encoder diffs Data against it to ship only the
+// changed word runs, and skips the frame entirely when they are equal. A nil
+// or stale Prev is always safe — under write-through staging the device
+// already holds Data, so a larger-than-needed delta merely ships more words.
 type FrameUpdate struct {
 	Addr fabric.FrameAddr
 	Data []uint32
+	Prev []uint32
 }
 
 // Partial builds a partial bitstream from frame updates, grouping runs of

@@ -1,0 +1,145 @@
+package bitstream
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func fuzzMix(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FuzzDeltaStream drives the delta/MFWR encoder-decoder round trip with
+// arbitrary shadow-plus-staged-frame plans: the fuzz input deterministically
+// expands into a set of frame updates (identical rewrites, sparse deltas,
+// repeated payloads, baseline-free full frames), the encoder compresses them,
+// and the stock controller must decode the stream back to the exact frame
+// images. A second leg mutates one stream word and requires the decoder to
+// either succeed or fail with a typed error (ErrCRC, ErrProtocol, ErrDelta) —
+// never panic, never an anonymous failure.
+func FuzzDeltaStream(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 1, 9, 9})
+	f.Add([]byte{4, 1, 0, 0, 5, 5, 2, 1, 1, 6, 6, 7, 3, 2, 2, 9, 9, 9, 2, 0, 3, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{6, 1, 0, 2, 1, 1, 2, 1, 2, 2, 2, 3, 3, 2, 3, 3, 4, 0, 3, 4, 4, 5, 1, 1, 5, 5, 6, 2, 0, 6, 6, 0xFF, 0x10, 0xAA, 0xBB, 0xCC, 0xDD})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if len(in) < 2 {
+			return
+		}
+		dev := fabric.NewDevice(fabric.TestDevice)
+		fw := dev.FrameWords()
+		pos := 0
+		next := func() byte {
+			if pos >= len(in) {
+				pos++
+				return 0
+			}
+			b := in[pos]
+			pos++
+			return b
+		}
+		mkFrame := func(seed uint64) []uint32 {
+			out := make([]uint32, fw)
+			for i := range out {
+				out[i] = uint32(fuzzMix(&seed))
+			}
+			return out
+		}
+		n := int(next())%6 + 1
+		seen := map[fabric.FrameAddr]bool{}
+		var ups []FrameUpdate
+		var shared []uint32
+		for i := 0; i < n; i++ {
+			major := 1 + int(next())%(dev.NumMajors()-1)
+			col, ok := dev.ColumnByMajor(major)
+			if !ok {
+				continue
+			}
+			addr := fabric.FrameAddr{Major: major, Minor: int(next()) % col.Frames}
+			if seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			mode := next() % 4
+			seed := uint64(next())<<8 | uint64(next()) | uint64(addr.Major)<<24 | uint64(addr.Minor)<<16
+			u := FrameUpdate{Addr: addr}
+			switch mode {
+			case 0: // identical rewrite: must be elided
+				w := mkFrame(seed)
+				u.Prev, u.Data = w, append([]uint32(nil), w...)
+			case 1: // sparse delta against a baseline
+				u.Prev = mkFrame(seed)
+				u.Data = append([]uint32(nil), u.Prev...)
+				k := int(next())%3 + 1
+				s := seed ^ 0xABCD
+				for j := 0; j < k; j++ {
+					u.Data[int(fuzzMix(&s)%uint64(fw))] ^= uint32(fuzzMix(&s)) | 1
+				}
+			case 2: // repeated payload: MFWR candidate
+				if shared == nil {
+					shared = mkFrame(seed)
+				}
+				u.Data = shared
+			default: // no baseline: full frame
+				u.Data = mkFrame(seed)
+			}
+			ups = append(ups, u)
+		}
+		if len(ups) == 0 {
+			return
+		}
+		prime := func(d *fabric.Device) {
+			for _, u := range ups {
+				if len(u.Prev) == fw {
+					if err := d.WriteFrame(u.Addr.Major, u.Addr.Minor, u.Prev); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		prime(dev)
+		words, st := CompressedPartial(dev, ups)
+		if tot := st.DeltaFrames + st.MFWRFrames + st.SkippedFrames + st.FullFrames; tot != len(ups) {
+			t.Fatalf("classification covers %d of %d frames (%+v)", tot, len(ups), st)
+		}
+		if err := NewController(dev).Feed(words...); err != nil {
+			t.Fatalf("round-trip stream rejected: %v", err)
+		}
+		for _, u := range ups {
+			got, err := dev.ReadFrame(u.Addr.Major, u.Addr.Minor)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range got {
+				if got[j] != u.Data[j] {
+					t.Fatalf("frame %v word %d = %#x, want %#x", u.Addr, j, got[j], u.Data[j])
+				}
+			}
+		}
+		if len(words) == 0 {
+			return
+		}
+		// Malformed leg: flip bits in one stream word; the decoder must reject
+		// with a typed error or accept — anything else (a panic, an untyped
+		// error) is a decoder hole.
+		dev2 := fabric.NewDevice(fabric.TestDevice)
+		prime(dev2)
+		idx := (int(next())<<8 | int(next())) % len(words)
+		mask := uint32(next())<<24 | uint32(next())<<16 | uint32(next())<<8 | uint32(next())
+		if mask == 0 {
+			mask = 1
+		}
+		mut := append([]uint32(nil), words...)
+		mut[idx] ^= mask
+		if err := NewController(dev2).Feed(mut...); err != nil {
+			if !errors.Is(err, ErrCRC) && !errors.Is(err, ErrProtocol) && !errors.Is(err, ErrDelta) {
+				t.Fatalf("mutated stream (word %d ^= %#x): untyped error %v", idx, mask, err)
+			}
+		}
+	})
+}

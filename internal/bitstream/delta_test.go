@@ -1,0 +1,298 @@
+package bitstream
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+// primeDevice writes every update's Prev baseline into the device, modelling
+// the write-through staging contract under which the encoder runs: the
+// configuration memory holds the baseline the deltas patch against.
+func primeDevice(t *testing.T, dev *fabric.Device, updates []FrameUpdate) {
+	t.Helper()
+	for _, u := range updates {
+		if len(u.Prev) == 0 {
+			continue
+		}
+		if err := dev.WriteFrame(u.Addr.Major, u.Addr.Minor, u.Prev); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// decodeAndCompare feeds words to a fresh controller over dev and checks every
+// update's frame reads back as its Data image.
+func decodeAndCompare(t *testing.T, dev *fabric.Device, words []uint32, updates []FrameUpdate) {
+	t.Helper()
+	ctl := NewController(dev)
+	if err := ctl.Feed(words...); err != nil {
+		t.Fatalf("compressed stream rejected: %v", err)
+	}
+	for _, u := range updates {
+		got, err := dev.ReadFrame(u.Addr.Major, u.Addr.Minor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != u.Data[j] {
+				t.Fatalf("frame %v word %d = %#x, want %#x", u.Addr, j, got[j], u.Data[j])
+			}
+		}
+	}
+}
+
+func TestCompressedPartialDeltaDecodes(t *testing.T) {
+	dev, _ := newDevCtl()
+	fw := dev.FrameWords()
+	prev := make([]uint32, fw)
+	data := make([]uint32, fw)
+	for i := range prev {
+		prev[i] = uint32(i)
+		data[i] = uint32(i)
+	}
+	data[3] = 0xAAAA
+	data[fw-1] = 0xBBBB
+	ups := []FrameUpdate{{Addr: fabric.FrameAddr{Major: 2, Minor: 1}, Data: data, Prev: prev}}
+	primeDevice(t, dev, ups)
+	words, st := CompressedPartial(dev, ups)
+	if st.DeltaFrames != 1 || st.FullFrames != 0 || st.SkippedFrames != 0 {
+		t.Fatalf("stats = %+v, want one delta frame", st)
+	}
+	if full := Partial(dev, ups); len(words) >= len(full) {
+		t.Fatalf("delta stream %d words, full stream %d: no win", len(words), len(full))
+	}
+	decodeAndCompare(t, dev, words, ups)
+}
+
+func TestCompressedPartialMFWRGroups(t *testing.T) {
+	dev, _ := newDevCtl()
+	fw := dev.FrameWords()
+	payload := make([]uint32, fw)
+	for i := range payload {
+		payload[i] = 0xC0FFEE ^ uint32(i)
+	}
+	ups := []FrameUpdate{
+		{Addr: fabric.FrameAddr{Major: 2, Minor: 0}, Data: payload},
+		{Addr: fabric.FrameAddr{Major: 2, Minor: 3}, Data: payload},
+		{Addr: fabric.FrameAddr{Major: 5, Minor: 1}, Data: payload},
+		{Addr: fabric.FrameAddr{Major: 7, Minor: 2}, Data: payload},
+	}
+	words, st := CompressedPartial(dev, ups)
+	if st.MFWRFrames != 3 || st.FullFrames != 1 {
+		t.Fatalf("stats = %+v, want 1 full + 3 MFWR frames", st)
+	}
+	if full := Partial(dev, ups); len(words) >= len(full) {
+		t.Fatalf("MFWR stream %d words, full stream %d: no win", len(words), len(full))
+	}
+	decodeAndCompare(t, dev, words, ups)
+}
+
+func TestCompressedPartialSkipsIdenticalRewrites(t *testing.T) {
+	dev, _ := newDevCtl()
+	fw := dev.FrameWords()
+	data := make([]uint32, fw)
+	data[0] = 7
+	ups := []FrameUpdate{
+		{Addr: fabric.FrameAddr{Major: 1, Minor: 0}, Data: data, Prev: data},
+		{Addr: fabric.FrameAddr{Major: 1, Minor: 1}, Data: data, Prev: data},
+	}
+	primeDevice(t, dev, ups)
+	words, st := CompressedPartial(dev, ups)
+	if words != nil {
+		t.Fatalf("identical rewrites shipped %d words, want none", len(words))
+	}
+	if st.SkippedFrames != 2 {
+		t.Fatalf("stats = %+v, want 2 skipped frames", st)
+	}
+}
+
+// TestCompressedPartialBitIdentical is the encoder's core property on a
+// randomized mixed workload: whatever mix of skips, deltas, MFWR groups and
+// full frames the classifier picks, the decoded device is word-for-word the
+// same as a twin fed the uncompressed Partial stream.
+func TestCompressedPartialBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		devA, _ := newDevCtl() // compressed
+		devB, _ := newDevCtl() // uncompressed twin
+		fw := devA.FrameWords()
+		n := 1 + rng.Intn(8)
+		seen := map[fabric.FrameAddr]bool{}
+		var ups []FrameUpdate
+		var shared []uint32
+		for len(ups) < n {
+			addr := fabric.FrameAddr{Major: 1 + rng.Intn(devA.NumMajors()-1), Minor: rng.Intn(4)}
+			if seen[addr] {
+				continue
+			}
+			seen[addr] = true
+			u := FrameUpdate{Addr: addr}
+			switch rng.Intn(4) {
+			case 0: // identical rewrite
+				w := randFrame(rng, fw)
+				u.Prev, u.Data = w, append([]uint32(nil), w...)
+			case 1: // sparse delta
+				u.Prev = randFrame(rng, fw)
+				u.Data = append([]uint32(nil), u.Prev...)
+				for k := 0; k < 1+rng.Intn(3); k++ {
+					u.Data[rng.Intn(fw)] ^= rng.Uint32() | 1
+				}
+			case 2: // repeated payload (MFWR candidate)
+				if shared == nil {
+					shared = randFrame(rng, fw)
+				}
+				u.Data = shared
+			default: // no baseline: full frame
+				u.Data = randFrame(rng, fw)
+			}
+			ups = append(ups, u)
+		}
+		for _, dev := range []*fabric.Device{devA, devB} {
+			for _, u := range ups {
+				if len(u.Prev) == fw {
+					if err := dev.WriteFrame(u.Addr.Major, u.Addr.Minor, u.Prev); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		words, st := CompressedPartial(devA, ups)
+		if got := st.DeltaFrames + st.MFWRFrames + st.SkippedFrames + st.FullFrames; got != len(ups) {
+			t.Fatalf("trial %d: classification covers %d of %d frames (%+v)", trial, got, len(ups), st)
+		}
+		if err := NewController(devA).Feed(words...); err != nil {
+			t.Fatalf("trial %d: compressed stream rejected: %v", trial, err)
+		}
+		if err := NewController(devB).Feed(Partial(devB, ups)...); err != nil {
+			t.Fatalf("trial %d: full stream rejected: %v", trial, err)
+		}
+		for _, u := range ups {
+			a, _ := devA.ReadFrame(u.Addr.Major, u.Addr.Minor)
+			b, _ := devB.ReadFrame(u.Addr.Major, u.Addr.Minor)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("trial %d: frame %v word %d: compressed %#x, full %#x", trial, u.Addr, j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func randFrame(rng *rand.Rand, fw int) []uint32 {
+	f := make([]uint32, fw)
+	for i := range f {
+		f[i] = rng.Uint32()
+	}
+	return f
+}
+
+// TestDeltaPacketMalformed pins the decoder's typed rejection of every
+// malformed delta/MFWR shape the encoder can never produce.
+func TestDeltaPacketMalformed(t *testing.T) {
+	dev, _ := newDevCtl()
+	fw := dev.FrameWords()
+	prefix := func() *Builder {
+		b := NewBuilderFor(dev)
+		b.Sync().ResetCRC().FrameLength()
+		b.writeReg(RegCMD, CmdWCFG)
+		b.writeReg(RegFAR, EncodeFAR(FAR{Major: 2, Minor: 0}))
+		return b
+	}
+	cases := []struct {
+		name  string
+		words func() []uint32
+	}{
+		{"zero-length run", func() []uint32 {
+			b := prefix()
+			b.emit(header1(opWrite, RegDELTA, 1))
+			b.emit(deltaRunHeader(0, 0))
+			return b.Words()
+		}},
+		{"run past frame end", func() []uint32 {
+			b := prefix()
+			b.emit(header1(opWrite, RegDELTA, 3))
+			b.emit(deltaRunHeader(fw-1, 2))
+			b.emit(1)
+			b.emit(2)
+			return b.Words()
+		}},
+		{"truncated run payload", func() []uint32 {
+			b := prefix()
+			// Packet claims 2 words but the run header asks for 3 more.
+			b.emit(header1(opWrite, RegDELTA, 2))
+			b.emit(deltaRunHeader(0, 3))
+			b.emit(1)
+			return b.Words()
+		}},
+		{"delta without WCFG", func() []uint32 {
+			b := NewBuilderFor(dev)
+			b.Sync().ResetCRC().FrameLength()
+			b.writeReg(RegFAR, EncodeFAR(FAR{Major: 2, Minor: 0}))
+			b.emit(header1(opWrite, RegDELTA, 2))
+			b.emit(deltaRunHeader(0, 1))
+			b.emit(42)
+			return b.Words()
+		}},
+		{"MFWR with no loaded frame", func() []uint32 {
+			b := NewBuilderFor(dev)
+			b.Sync().ResetCRC().FrameLength()
+			b.writeReg(RegCMD, CmdMFW)
+			b.writeReg(RegFAR, EncodeFAR(FAR{Major: 2, Minor: 0}))
+			b.emit(header1(opWrite, RegMFWR, mfwrDummyWords))
+			b.emit(0)
+			b.emit(0)
+			return b.Words()
+		}},
+		{"MFWR without MFW command", func() []uint32 {
+			b := prefix()
+			b.emit(header1(opWrite, RegMFWR, mfwrDummyWords))
+			b.emit(0)
+			b.emit(0)
+			return b.Words()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctl := NewController(dev)
+			err := ctl.Feed(tc.words()...)
+			if !errors.Is(err, ErrDelta) {
+				t.Fatalf("err = %v, want ErrDelta", err)
+			}
+		})
+	}
+}
+
+// TestEncodeStreamTrafficAccounting pins the shared encode path's counters:
+// uncompressed traffic counts the same words both ways; compressed traffic
+// records the uncompressed equivalent as FullWords.
+func TestEncodeStreamTrafficAccounting(t *testing.T) {
+	dev, _ := newDevCtl()
+	fw := dev.FrameWords()
+	prev := make([]uint32, fw)
+	data := make([]uint32, fw)
+	copy(data, prev)
+	data[1] = 9
+	ups := []FrameUpdate{{Addr: fabric.FrameAddr{Major: 3, Minor: 0}, Data: data, Prev: prev}}
+	primeDevice(t, dev, ups)
+
+	var plain Traffic
+	pw := EncodeStream(dev, false, ups, &plain)
+	if plain.WordsShifted != uint64(len(pw)) || plain.FullWords != plain.WordsShifted || plain.FramesDelivered != 1 {
+		t.Fatalf("uncompressed traffic = %+v over %d words", plain, len(pw))
+	}
+	if plain.CompressionRatio() != 1 {
+		t.Fatalf("uncompressed ratio = %v, want 1", plain.CompressionRatio())
+	}
+
+	var comp Traffic
+	cw := EncodeStream(dev, true, ups, &comp)
+	if comp.WordsShifted != uint64(len(cw)) || comp.FullWords != plain.FullWords {
+		t.Fatalf("compressed traffic = %+v over %d words (full baseline %d)", comp, len(cw), plain.FullWords)
+	}
+	if comp.CompressionRatio() <= 1 {
+		t.Fatalf("compression ratio = %v, want > 1", comp.CompressionRatio())
+	}
+}

@@ -140,15 +140,21 @@ func (q *StreamQueue) Completed() uint64 {
 	return q.completed
 }
 
-// ParallelPort models a SelectMAP-style byte-parallel configuration port:
-// one byte per clock, so a 32-bit word takes four clocks. It implements
-// AsyncPort: bursts can shift out in the background while the host computes,
-// with the clock cost accounted at enqueue time.
+// ParallelPort models a SelectMAP-style parallel configuration port:
+// WidthBits data pins per clock (8 by default — one byte per clock, so a
+// 32-bit word takes four clocks; 16 and 32 model the wider SelectMAP
+// variants). It implements AsyncPort: bursts can shift out in the background
+// while the host computes, with the clock cost accounted at enqueue time.
 type ParallelPort struct {
 	Ctrl    *Controller
 	ClockHz float64
-	cycles  uint64
-	q       StreamQueue
+	// WidthBits is the data-port width in bits: 8, 16 or 32 (0 means 8).
+	// Set it before any traffic flows; the per-word clock cost is 32/width.
+	WidthBits int
+	cycles    uint64
+	compress  bool
+	traffic   Traffic
+	q         StreamQueue
 }
 
 // NewParallelPort attaches a SelectMAP-style port to a controller.
@@ -162,23 +168,38 @@ func NewParallelPort(ctrl *Controller, clockHz float64) *ParallelPort {
 	return p
 }
 
+// cyclesPerWord is the clock cost of one 32-bit word at the configured port
+// width.
+func (p *ParallelPort) cyclesPerWord() uint64 {
+	w := p.WidthBits
+	if w == 0 {
+		w = 8
+	}
+	return uint64(32 / w)
+}
+
 // WriteUpdates implements Port (synchronous delivery; any queued background
 // stream drains first so the controller sees bursts in order).
 func (p *ParallelPort) WriteUpdates(updates []FrameUpdate) error {
 	if err := p.AwaitStream(); err != nil {
 		return err
 	}
-	words := Partial(p.Ctrl.Device(), updates)
-	p.cycles += uint64(4 * len(words))
+	words := EncodeStream(p.Ctrl.Device(), p.compress, updates, &p.traffic)
+	if len(words) == 0 {
+		return nil // every frame was an identical rewrite: nothing to ship
+	}
+	p.cycles += p.cyclesPerWord() * uint64(len(words))
 	return p.Ctrl.Feed(words...)
 }
 
 // StreamUpdates implements AsyncPort: the burst's clock cost lands on the
 // port immediately (it is a pure function of the stream length), the words
-// ship from a background worker.
+// ship from a background worker. A fully elided burst (compression skipped
+// every frame) still enqueues — zero words, zero cycles — so callers'
+// CompletedBursts book-keeping stays in lockstep.
 func (p *ParallelPort) StreamUpdates(updates []FrameUpdate) {
-	words := Partial(p.Ctrl.Device(), updates)
-	p.cycles += uint64(4 * len(words))
+	words := EncodeStream(p.Ctrl.Device(), p.compress, updates, &p.traffic)
+	p.cycles += p.cyclesPerWord() * uint64(len(words))
 	p.q.Enqueue(words)
 }
 
@@ -201,7 +222,7 @@ func (p *ParallelPort) ReadFrame(addr fabric.FrameAddr) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.cycles += uint64(4 * (len(req) + len(out)))
+	p.cycles += p.cyclesPerWord() * uint64(len(req)+len(out))
 	if len(out) != p.Ctrl.Device().FrameWords() {
 		return nil, fmt.Errorf("bitstream: readback returned %d words", len(out))
 	}
@@ -221,4 +242,19 @@ func (p *ParallelPort) Cycles() uint64 { return p.cycles }
 // crashed system's accounting).
 func (p *ParallelPort) RestoreCycles(n uint64) { p.cycles = n }
 
-var _ AsyncPort = (*ParallelPort)(nil)
+// SetCompress implements CompressPort.
+func (p *ParallelPort) SetCompress(on bool) { p.compress = on }
+
+// Compressed implements CompressPort.
+func (p *ParallelPort) Compressed() bool { return p.compress }
+
+// Traffic implements CompressPort.
+func (p *ParallelPort) Traffic() Traffic { return p.traffic }
+
+// RestoreTraffic implements CompressPort.
+func (p *ParallelPort) RestoreTraffic(t Traffic) { p.traffic = t }
+
+var (
+	_ AsyncPort    = (*ParallelPort)(nil)
+	_ CompressPort = (*ParallelPort)(nil)
+)

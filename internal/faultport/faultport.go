@@ -283,5 +283,43 @@ func (f *Port) Cycles() uint64 { return f.inner.Cycles() }
 // and retry compensation).
 func (f *Port) RestoreCycles(n uint64) { f.inner.RestoreCycles(n) }
 
+// SetCompress forwards compression control to the inner port, so a
+// fault-injected system can run compressed streams. Faults are injected on
+// the update list BEFORE encoding (see inject), which keeps persistent frame
+// faults visible even when compression elides the frame's words entirely.
+// No-op when the inner port does not implement bitstream.CompressPort.
+func (f *Port) SetCompress(on bool) {
+	if tp, ok := f.inner.(bitstream.CompressPort); ok {
+		tp.SetCompress(on)
+	}
+}
+
+// Compressed reports the inner port's compression mode (false when the inner
+// port does not implement bitstream.CompressPort).
+func (f *Port) Compressed() bool {
+	if tp, ok := f.inner.(bitstream.CompressPort); ok {
+		return tp.Compressed()
+	}
+	return false
+}
+
+// Traffic exposes the inner port's write-traffic counters (zero-valued when
+// unsupported).
+func (f *Port) Traffic() bitstream.Traffic {
+	if tp, ok := f.inner.(bitstream.CompressPort); ok {
+		return tp.Traffic()
+	}
+	return bitstream.Traffic{}
+}
+
+// RestoreTraffic overwrites the inner port's traffic counters (journal
+// recovery and retry compensation). No-op when unsupported.
+func (f *Port) RestoreTraffic(t bitstream.Traffic) {
+	if tp, ok := f.inner.(bitstream.CompressPort); ok {
+		tp.RestoreTraffic(t)
+	}
+}
+
 var _ bitstream.AsyncPort = (*Port)(nil)
 var _ Inner = (*Port)(nil)
+var _ bitstream.CompressPort = (*Port)(nil)

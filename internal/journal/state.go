@@ -20,6 +20,13 @@ type Init struct {
 	ClockHz    float64 `json:"clock_hz,omitempty"`
 	AppClockHz float64 `json:"app_clock_hz,omitempty"`
 	Serial     bool    `json:"serial,omitempty"`
+	// Compress records that the port delivered compressed (delta/MFWR)
+	// write streams; recovery rebuilds the system compressed so its traffic
+	// and cycle accounting stay bit-identical. Absent in older journals.
+	Compress bool `json:"compress,omitempty"`
+	// PortWidth is the SelectMAP data-port width in bits (0 = the 8-bit
+	// default). Absent in older journals and on Boundary-Scan systems.
+	PortWidth int `json:"port_width,omitempty"`
 }
 
 // Begin declares one facade operation's intent. Recovery never re-executes
@@ -95,6 +102,13 @@ type State struct {
 	Stats      relocate.Stats  `json:"stats"`
 	PortCycles uint64          `json:"port_cycles"`
 	LastTick   float64         `json:"last_tick"`
+	// WordsShifted/FullWords/FramesDelivered mirror the port's write-traffic
+	// counters (bitstream.Traffic) at the commit boundary; recovery restores
+	// them alongside PortCycles. Absent in pre-compression journals, which
+	// decode to zero counters.
+	WordsShifted    uint64 `json:"words_shifted,omitempty"`
+	FullWords       uint64 `json:"full_words,omitempty"`
+	FramesDelivered uint64 `json:"frames_delivered,omitempty"`
 	// Quarantined lists the configuration frames masked out after persistent
 	// write failures; recovery re-applies the mask (frame filter plus area
 	// quarantine) before anything is delivered. Absent in pre-quarantine

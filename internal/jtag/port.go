@@ -16,10 +16,12 @@ import (
 // is added to the cycle counter at enqueue time: Elapsed is deterministic
 // and identical between pipelined and serial delivery.
 type Port struct {
-	Chain  *Chain
-	TCKHz  float64
-	cycles uint64
-	q      bitstream.StreamQueue
+	Chain    *Chain
+	TCKHz    float64
+	cycles   uint64
+	compress bool
+	traffic  bitstream.Traffic
+	q        bitstream.StreamQueue
 }
 
 // DefaultTCKHz is the paper's Boundary-Scan test clock frequency.
@@ -120,7 +122,10 @@ func (p *Port) WriteUpdates(updates []bitstream.FrameUpdate) error {
 	if err := p.AwaitStream(); err != nil {
 		return err
 	}
-	words := bitstream.Partial(p.Chain.ctrl.Device(), updates)
+	words := bitstream.EncodeStream(p.Chain.ctrl.Device(), p.compress, updates, &p.traffic)
+	if len(words) == 0 {
+		return nil // every frame was an identical rewrite: nothing to shift
+	}
 	p.LoadIR(InstrCfgIn)
 	p.ShiftDRIn(words)
 	if err := p.Chain.Err(); err != nil {
@@ -140,9 +145,14 @@ func burstCycles(nWords int) uint64 {
 // StreamUpdates implements bitstream.AsyncPort: the burst's TCK cost lands
 // on the cycle counter now; the TAP stepping — the expensive part of the
 // Boundary-Scan model — runs on the queue's background worker.
+// A fully elided burst (compression skipped every frame) still enqueues —
+// zero words, zero cycles — so callers' CompletedBursts book-keeping stays
+// in lockstep with their enqueue count.
 func (p *Port) StreamUpdates(updates []bitstream.FrameUpdate) {
-	words := bitstream.Partial(p.Chain.ctrl.Device(), updates)
-	p.cycles += burstCycles(len(words))
+	words := bitstream.EncodeStream(p.Chain.ctrl.Device(), p.compress, updates, &p.traffic)
+	if len(words) > 0 {
+		p.cycles += burstCycles(len(words))
+	}
 	p.q.Enqueue(words)
 }
 
@@ -162,6 +172,9 @@ func (p *Port) CompletedBursts() uint64 { return p.q.Completed() }
 // burst re-delivers frames already staged write-through, so the controller
 // runs in re-delivery mode: full protocol, no configuration write.
 func (p *Port) deliverBurst(words []uint32) error {
+	if len(words) == 0 {
+		return nil // elided burst: nothing was accounted, nothing shifts
+	}
 	p.Chain.ctrl.SetRedelivery(true)
 	defer p.Chain.ctrl.SetRedelivery(false)
 	var n uint64
@@ -216,7 +229,20 @@ func (p *Port) Cycles() uint64 { return p.cycles }
 // book-keeping survives a crash bit-identically.
 func (p *Port) RestoreCycles(n uint64) { p.cycles = n }
 
+// SetCompress implements bitstream.CompressPort.
+func (p *Port) SetCompress(on bool) { p.compress = on }
+
+// Compressed implements bitstream.CompressPort.
+func (p *Port) Compressed() bool { return p.compress }
+
+// Traffic implements bitstream.CompressPort.
+func (p *Port) Traffic() bitstream.Traffic { return p.traffic }
+
+// RestoreTraffic implements bitstream.CompressPort.
+func (p *Port) RestoreTraffic(t bitstream.Traffic) { p.traffic = t }
+
 var (
-	_ bitstream.Port      = (*Port)(nil)
-	_ bitstream.AsyncPort = (*Port)(nil)
+	_ bitstream.Port         = (*Port)(nil)
+	_ bitstream.AsyncPort    = (*Port)(nil)
+	_ bitstream.CompressPort = (*Port)(nil)
 )

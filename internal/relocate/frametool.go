@@ -115,6 +115,21 @@ type FrameTool struct {
 	// quarantined frame (the area manager's mask guarantees that).
 	quarantined map[fabric.FrameAddr]bool
 
+	// Delta baselines for compressed delivery. lastSent holds, per frame,
+	// the content most recently handed to the port (captured lazily from the
+	// pre-staging shadow on a frame's first-ever stage, so the initial
+	// baseline is what the fabric held at power-up); Flush diffs each
+	// delivery against it. confirmed trails lastSent: it only advances when
+	// a delivery's outcome is confirmed (a clean harvest, a synchronous
+	// write, a designer-path reconciliation), and it is the baseline the
+	// facade's re-delivery ladder diffs against — a failed burst's frames
+	// genuinely re-ship their changed runs. Both maps alias shadow slices
+	// (the shadow replaces slices wholesale, never mutates in place), and a
+	// stale entry is always safe: under write-through staging a too-old
+	// baseline only enlarges the shipped delta.
+	lastSent  map[fabric.FrameAddr][]uint32
+	confirmed map[fabric.FrameAddr][]uint32
+
 	sink ViewSink
 
 	// barrier, when set, observes the flush ordering: PreDeliver fires
@@ -182,6 +197,8 @@ func NewFrameTool(dev *fabric.Device, port bitstream.Port) (*FrameTool, error) {
 		touchSet:     make(map[fabric.FrameAddr]bool),
 		async:        async,
 		streamingSet: make(map[fabric.FrameAddr]bool),
+		lastSent:     make(map[fabric.FrameAddr][]uint32),
+		confirmed:    make(map[fabric.FrameAddr][]uint32),
 	}, nil
 }
 
@@ -212,6 +229,10 @@ func (ft *FrameTool) sync() error {
 			return err
 		}
 		ft.shadow.NoteOwned(addr, data)
+		// Designer-path content is already on the fabric: it is the delta
+		// baseline of the next port delivery of these frames.
+		ft.lastSent[addr] = data
+		ft.confirmed[addr] = data
 		if updates != nil {
 			updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
 		}
@@ -256,6 +277,10 @@ func (ft *FrameTool) SyncDeclared(cells []fabric.CellRef, nodes []fabric.NodeID,
 			return err
 		}
 		ft.shadow.NoteOwned(addr, data)
+		// Designer-path content is already on the fabric: it is the delta
+		// baseline of the next port delivery of these frames.
+		ft.lastSent[addr] = data
+		ft.confirmed[addr] = data
 		if updates != nil {
 			updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
 		}
@@ -413,6 +438,15 @@ func (ft *FrameTool) stage(addr fabric.FrameAddr, data []uint32) error {
 			return err
 		}
 	}
+	if _, ok := ft.lastSent[addr]; !ok {
+		// First-ever stage of this frame: the pre-staging shadow content is
+		// what the fabric has held since power-up — the initial delta
+		// baseline for compressed delivery.
+		if prev, ok := ft.shadow.Frame(addr); ok {
+			ft.lastSent[addr] = prev
+			ft.confirmed[addr] = prev
+		}
+	}
 	ft.shadow.NoteOwned(addr, data)
 	if err := ft.dev.WriteFrame(addr.Major, addr.Minor, data); err != nil {
 		return err
@@ -480,7 +514,7 @@ func (ft *FrameTool) Flush() error {
 		if !ok {
 			return fmt.Errorf("relocate: pending frame %v missing from shadow", addr)
 		}
-		updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data})
+		updates = append(updates, bitstream.FrameUpdate{Addr: addr, Data: data, Prev: ft.lastSent[addr]})
 	}
 	if ft.barrier != nil {
 		// The journal's ordering contract: undo records for every frame of
@@ -506,6 +540,12 @@ func (ft *FrameTool) Flush() error {
 			}
 		}
 		ft.streamBursts = append(ft.streamBursts, addrs)
+		// The burst's content is fixed at enqueue: it is the delta baseline
+		// of the next delivery, whatever the shift-out's outcome (confirmed
+		// only advances at a clean harvest).
+		for _, u := range updates {
+			ft.lastSent[u.Addr] = u.Data
+		}
 		ft.async.StreamUpdates(updates)
 		if ft.barrier != nil {
 			// The burst's content is fixed at enqueue (the stream copies the
@@ -517,6 +557,10 @@ func (ft *FrameTool) Flush() error {
 	}
 	if err := ft.port.WriteUpdates(updates); err != nil {
 		return err
+	}
+	for _, u := range updates {
+		ft.lastSent[u.Addr] = u.Data
+		ft.confirmed[u.Addr] = u.Data
 	}
 	if ft.barrier != nil {
 		ft.barrier.Delivered(updates)
@@ -587,12 +631,27 @@ func (ft *FrameTool) AwaitStream() error {
 		err = ft.Retry(err, ft.unharvested)
 	}
 	if err == nil {
+		// Every enqueued burst is confirmed on the fabric (directly or
+		// salvaged by the delegate): advance the confirmed delta baseline.
+		for _, addr := range ft.unharvested {
+			if data, ok := ft.lastSent[addr]; ok {
+				ft.confirmed[addr] = data
+			}
+		}
 		ft.unharvested = nil
 		if len(ft.unharvestedSet) > 0 {
 			clear(ft.unharvestedSet)
 		}
 	}
 	return err
+}
+
+// ConfirmedBaseline returns the last frame content whose port delivery was
+// confirmed — the delta baseline the facade's re-delivery ladder diffs
+// against, so a failed burst's frames genuinely re-ship their changed runs.
+func (ft *FrameTool) ConfirmedBaseline(addr fabric.FrameAddr) ([]uint32, bool) {
+	data, ok := ft.confirmed[addr]
+	return data, ok
 }
 
 // harvest performs the blocking port await, under the stall watchdog when
@@ -776,6 +835,14 @@ func (ft *FrameTool) CompleteRestore(snap *bitstream.Snapshot) {
 	dirty := snap.Frames()
 	ft.AbortPending()
 	snap.Rollback()
+	// The recovery stream physically re-delivered every dirty frame in full;
+	// the rolled-back shadow content is the new delta baseline for both maps.
+	for _, addr := range dirty {
+		if data, ok := ft.shadow.Frame(addr); ok {
+			ft.lastSent[addr] = data
+			ft.confirmed[addr] = data
+		}
+	}
 	ft.genSeen = ft.dev.Generation()
 	if ft.sink != nil && len(dirty) > 0 {
 		ft.sink.Synced(dirty)

@@ -116,6 +116,8 @@ func (s *System) journalInit(cfg *config) error {
 		ClockHz:    cfg.clockHz,
 		AppClockHz: cfg.appClockHz,
 		Serial:     cfg.serialCommit,
+		Compress:   cfg.compress,
+		PortWidth:  cfg.portWidth,
 	}
 	if err := s.jrnl.j.Append(journal.RecInit, init); err != nil {
 		return err
@@ -272,6 +274,12 @@ func (s *System) journalStateLocked() journal.State {
 	}
 	if cp, ok := s.port.(cyclePort); ok {
 		st.PortCycles = cp.Cycles()
+	}
+	if tp, ok := s.port.(bitstream.CompressPort); ok {
+		t := tp.Traffic()
+		st.WordsShifted = t.WordsShifted
+		st.FullWords = t.FullWords
+		st.FramesDelivered = t.FramesDelivered
 	}
 	names := make([]string, 0, len(s.designs))
 	for name := range s.designs {

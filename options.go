@@ -36,6 +36,8 @@ type config struct {
 	journalRot   int64
 	health       *HealthPolicy
 	stallTimeout time.Duration
+	compress     bool
+	portWidth    int
 }
 
 // Option configures a System at construction time.
@@ -157,6 +159,30 @@ func WithHealthPolicy(p HealthPolicy) Option {
 // watchdog. Not journaled — pass it again when recovering.
 func WithStallTimeout(d time.Duration) Option {
 	return func(c *config) { c.stallTimeout = d }
+}
+
+// WithCompression switches the configuration port to compressed write
+// streams: each delivered frame is diffed against its last-sent baseline and
+// only the changed word runs ship (partial-frame delta packets), repeated
+// identical payloads within one coalesced burst collapse into a single
+// multi-frame write, and frames whose content did not change are elided
+// entirely. Verification stays CRC-only on this hot path — the full
+// readback-verify remains the escalation tier of WithRetryPolicy's ladder,
+// and re-deliveries and scrubber repairs ship deltas too. Configuration
+// memory is frame-bit-identical to uncompressed delivery (the property tests
+// pin it); only the transport time and Traffic counters change. The port
+// kind and compression flag are journaled, so rlm.Recover rebuilds a
+// compressed system compressed.
+func WithCompression() Option {
+	return func(c *config) { c.compress = true }
+}
+
+// WithPortWidth sets the SelectMAP data-port width in bits: 8 (the default,
+// one byte per clock), 16 or 32. A wider port moves proportionally more of
+// each word per clock, modelling the parallel-port members of the family.
+// Only valid together with WithPort(SelectMAP); New fails otherwise.
+func WithPortWidth(bits int) Option {
+	return func(c *config) { c.portWidth = bits }
 }
 
 // WithJournalRotation enables automatic journal compaction: after a commit

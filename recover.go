@@ -100,6 +100,10 @@ func Recover(dev *fabric.Device, journalPath string, opts ...Option) (*System, *
 	if cp, ok := s.port.(cyclePort); ok {
 		freshCycles = cp.Cycles()
 	}
+	var freshTraffic bitstream.Traffic
+	if tp, ok := s.port.(bitstream.CompressPort); ok {
+		freshTraffic = tp.Traffic()
+	}
 	j, err := journal.OpenAppend(journalPath, rs.ValidLen)
 	if err != nil {
 		return nil, nil, fmt.Errorf("rlm: reopening journal: %w", err)
@@ -147,12 +151,24 @@ func Recover(dev *fabric.Device, journalPath string, opts ...Option) (*System, *
 		if cp, ok := s.port.(cyclePort); ok {
 			cp.RestoreCycles(target.PortCycles)
 		}
-	} else if cp, ok := s.port.(cyclePort); ok {
-		// Nothing ever committed: the journaled state is zero-valued, but a
-		// fresh system's engine initialisation itself costs port cycles (the
-		// never-crashed twin kept them). Rewind the reconciliation traffic
-		// only, leaving the deterministic initialisation cost in place.
-		cp.RestoreCycles(freshCycles)
+		if tp, ok := s.port.(bitstream.CompressPort); ok {
+			tp.RestoreTraffic(bitstream.Traffic{
+				WordsShifted:    target.WordsShifted,
+				FullWords:       target.FullWords,
+				FramesDelivered: target.FramesDelivered,
+			})
+		}
+	} else {
+		if cp, ok := s.port.(cyclePort); ok {
+			// Nothing ever committed: the journaled state is zero-valued, but a
+			// fresh system's engine initialisation itself costs port cycles (the
+			// never-crashed twin kept them). Rewind the reconciliation traffic
+			// only, leaving the deterministic initialisation cost in place.
+			cp.RestoreCycles(freshCycles)
+		}
+		if tp, ok := s.port.(bitstream.CompressPort); ok {
+			tp.RestoreTraffic(freshTraffic)
+		}
 	}
 	s.attachJournal(j, rs.LastSeq)
 	s.jrnl.path = journalPath
@@ -176,6 +192,8 @@ func configFromInit(init journal.Init) config {
 	cfg.clockHz = init.ClockHz
 	cfg.appClockHz = init.AppClockHz
 	cfg.serialCommit = init.Serial
+	cfg.compress = init.Compress
+	cfg.portWidth = init.PortWidth
 	return cfg
 }
 
@@ -213,7 +231,9 @@ func (s *System) applyUndo(undo []journal.Undo, rep *RecoverReport) error {
 		if frameWordsEqual(cur, u.Words) {
 			continue
 		}
-		if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: u.Addr, Data: u.Words}}); err != nil {
+		// The diverged readback is the restore's delta baseline: a compressed
+		// port ships only the runs the interrupted shift actually changed.
+		if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: u.Addr, Data: u.Words, Prev: cur}}); err != nil {
 			return fmt.Errorf("rlm: restoring frame %v: %w", u.Addr, err)
 		}
 		rep.FramesRestored++

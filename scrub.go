@@ -77,7 +77,9 @@ func (s *System) scrubLocked(maxFrames int) (*ScrubReport, error) {
 				changes = append(changes, s.health.NoteClean(addr.Major))
 				continue
 			}
-			if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: want}}); err != nil {
+			// The diverged readback is the repair's delta baseline: on a
+			// compressed port only the flipped word runs ship.
+			if err := s.port.WriteUpdates([]bitstream.FrameUpdate{{Addr: addr, Data: want, Prev: got}}); err != nil {
 				return err
 			}
 			rep.Repairs = append(rep.Repairs, addr)

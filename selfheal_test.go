@@ -523,11 +523,40 @@ func soakScript(t *testing.T, s *System, rounds int, at func(tag string)) {
 // frames, book-keeping and cycle accounting bit-identical to a fault-free
 // twin's. Run with -race.
 func TestChaosSoakSelfHealing(t *testing.T) {
+	runChaosSoak(t)
+}
+
+// TestChaosSoakCompressed is the same soak with delta/MFWR stream encoding
+// on (both twins): scrubber repairs, probe traffic and retry re-delivery all
+// ship compressed streams, and the converged system must still be
+// bit-identical to its fault-free twin. The run also asserts compression
+// actually engaged — the foreground workout must ship fewer words than its
+// uncompressed equivalent would have.
+func TestChaosSoakCompressed(t *testing.T) {
+	sys := runChaosSoak(t, WithCompression())
+	tr := sys.Traffic()
+	if !sys.Port().(bitstream.CompressPort).Compressed() {
+		t.Fatal("port is not in compressed mode")
+	}
+	if tr.WordsShifted == 0 || tr.WordsShifted >= tr.FullWords {
+		t.Fatalf("compression never engaged: %+v", tr)
+	}
+}
+
+// runChaosSoak is the soak body, parameterised with extra options applied to
+// BOTH twins; it returns the soaked (faulty) system for extra assertions.
+func runChaosSoak(t *testing.T, extra ...Option) *System {
+	// ProbesToRelease is deliberately large: the soak observes the
+	// quarantined state from a polling goroutine, and with a small streak
+	// the scrubber (one probe per 200µs tick) can condemn, probe clean and
+	// release a column inside a single poll interval — the test would miss
+	// the whole window. ~400 probes ≈ 80ms of guaranteed visibility without
+	// changing the lifecycle the test exercises.
 	pol := HealthPolicy{
 		Alpha:           0.5,
 		SuspectAbove:    0.25,
 		CondemnRepairs:  2,
-		ProbesToRelease: 2,
+		ProbesToRelease: 400,
 		ProbationChecks: 2,
 	}
 	retry := WithRetryPolicy(RetryPolicy{MaxRetries: 2, VerifyAfter: 2})
@@ -539,8 +568,8 @@ func TestChaosSoakSelfHealing(t *testing.T) {
 
 	// The fault-free twin fixes the expected end state (and the owned-frame
 	// set of the far-east column, which is deterministic across twins).
-	clean, err := New(WithDevice(fabric.TestDevice),
-		WithJournal(filepath.Join(dir, "twin.journal")), retry, WithHealthPolicy(pol))
+	clean, err := New(append([]Option{WithDevice(fabric.TestDevice),
+		WithJournal(filepath.Join(dir, "twin.journal")), retry, WithHealthPolicy(pol)}, extra...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -554,8 +583,8 @@ func TestChaosSoakSelfHealing(t *testing.T) {
 	// mirror + a crash capture armed at the first commit that seals the
 	// quarantine mask.
 	jpath := filepath.Join(dir, "op.journal")
-	sys, flaky := faultSystem(t, 47, WithJournal(jpath), retry, WithHealthPolicy(pol),
-		WithScrubber(200*time.Microsecond, 64))
+	sys, flaky := faultSystem(t, 47, append([]Option{WithJournal(jpath), retry, WithHealthPolicy(pol),
+		WithScrubber(200*time.Microsecond, 64)}, extra...)...)
 	mirror := map[fabric.FrameAddr][]uint32{}
 	sys.onDelivered = func(updates []bitstream.FrameUpdate) {
 		for _, u := range updates {
@@ -640,6 +669,7 @@ func TestChaosSoakSelfHealing(t *testing.T) {
 	if diffs := diffStates(maskSoakStats(captureState(sys)), want); len(diffs) > 0 {
 		t.Fatalf("soaked system diverges from fault-free twin (%d diffs): %s", len(diffs), diffs[0])
 	}
+	return sys
 }
 
 // recoverSoakCapture replays the mid-soak crash capture on a rebuilt device

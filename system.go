@@ -162,6 +162,25 @@ func newSystem(cfg *config, dev *fabric.Device) (*System, error) {
 		}
 		port = jtag.NewPort(ctrl, hz)
 	}
+	if cfg.portWidth != 0 {
+		switch cfg.portWidth {
+		case 8, 16, 32:
+		default:
+			return nil, fmt.Errorf("rlm: WithPortWidth(%d): width must be 8, 16 or 32", cfg.portWidth)
+		}
+		pp, ok := port.(*bitstream.ParallelPort)
+		if !ok {
+			return nil, fmt.Errorf("rlm: WithPortWidth requires the SelectMAP port")
+		}
+		pp.WidthBits = cfg.portWidth
+	}
+	if cfg.compress {
+		tp, ok := port.(bitstream.CompressPort)
+		if !ok {
+			return nil, fmt.Errorf("rlm: WithCompression: port %q does not support compressed streams", port.Name())
+		}
+		tp.SetCompress(true)
+	}
 	eng, err := relocate.NewEngine(dev, port)
 	if err != nil {
 		return nil, err
@@ -285,6 +304,18 @@ func (s *System) Stats() relocate.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.engine.Stats
+}
+
+// Traffic returns the port's configuration write-traffic counters (words
+// actually shifted vs the uncompressed equivalent). Zero-valued on a custom
+// port that does not implement bitstream.CompressPort.
+func (s *System) Traffic() bitstream.Traffic {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tp, ok := s.port.(bitstream.CompressPort); ok {
+		return tp.Traffic()
+	}
+	return bitstream.Traffic{}
 }
 
 // Load places a netlist into a region (auto-sized when region is zero),
